@@ -1,0 +1,109 @@
+package smartmem_test
+
+import (
+	"strings"
+	"testing"
+
+	"smartmem"
+)
+
+func TestPublicRun(t *testing.T) {
+	res, err := smartmem.Run(smartmem.Config{
+		TmemBytes:   64 * smartmem.MiB,
+		TmemEnabled: true,
+		Policy:      smartmem.SmartAlloc{P: 2},
+		Seed:        1,
+		VMs: []smartmem.VMSpec{{
+			ID: 1, Name: "VM1", RAMBytes: 64 * smartmem.MiB,
+			Workload: smartmem.InMemoryAnalytics{
+				Label: "run", DatasetBytes: 96 * smartmem.MiB, Passes: 1,
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RunsFor("VM1", "run")) != 1 {
+		t.Errorf("runs = %+v", res.Runs)
+	}
+	if res.EndTime <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	for _, spec := range []string{"greedy", "static-alloc", "reconf-static", "smart-alloc:P=0.75"} {
+		p, err := smartmem.ParsePolicy(spec)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("policy %q has no name", spec)
+		}
+	}
+	if _, err := smartmem.ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestPublicScenarios(t *testing.T) {
+	if len(smartmem.Scenarios()) != 4 {
+		t.Fatalf("scenario count = %d", len(smartmem.Scenarios()))
+	}
+	s, err := smartmem.ScenarioBySlug("usemem")
+	if err != nil || s.Name != "Usemem Scenario" {
+		t.Errorf("ScenarioBySlug: %v, %v", s, err)
+	}
+	if _, err := smartmem.ScenarioBySlug("zzz"); err == nil {
+		t.Error("unknown slug accepted")
+	}
+	res, err := smartmem.RunScenario("usemem", "greedy", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) == 0 {
+		t.Error("scenario produced no runs")
+	}
+	var sb strings.Builder
+	if err := smartmem.WriteScenarioSeries(&sb, "usemem", "greedy", 11); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tmem-VM1") {
+		t.Error("series output missing VM1")
+	}
+}
+
+func TestPublicScenarioTimes(t *testing.T) {
+	tab, err := smartmem.ScenarioTimes("usemem", []string{"greedy"}, []uint64{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := smartmem.WriteScenarioTimes(&sb, tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "greedy") {
+		t.Errorf("times output: %q", sb.String())
+	}
+}
+
+func TestPublicDatagen(t *testing.T) {
+	rng := smartmem.NewRNG(5)
+	g := smartmem.RMAT(rng, 8, 8)
+	ranks := smartmem.PageRank(g, 10, 0.85)
+	if len(ranks) != g.N {
+		t.Errorf("ranks = %d, want %d", len(ranks), g.N)
+	}
+	r := smartmem.MovieLensShaped(rng, 100, 50, 2000)
+	if rmse := smartmem.MiniALS(r, 4, 3, smartmem.NewRNG(1)); rmse <= 0 || rmse > 5 {
+		t.Errorf("RMSE = %v", rmse)
+	}
+}
+
+func TestPublicUsememWorkload(t *testing.T) {
+	w := smartmem.Usemem()
+	if w.Name() != "usemem" {
+		t.Errorf("name = %q", w.Name())
+	}
+}

@@ -1,0 +1,164 @@
+// Command smartmem-report regenerates the paper's evaluation artefacts:
+// every running-time figure (3, 5, 7, 9), every tmem-usage figure
+// (4, 6, 8, 10) and both tables (I, II), as text and optional CSV.
+//
+// Usage:
+//
+//	smartmem-report                 # everything, 5 seeds (minutes)
+//	smartmem-report -fig 5 -seeds 2 # one figure, quicker
+//	smartmem-report -out results/   # also write CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smartmem/internal/experiments"
+	"smartmem/internal/report"
+	"smartmem/internal/tmem"
+)
+
+// figureSpec maps a paper figure to its scenario and kind.
+type figureSpec struct {
+	fig      int
+	slug     string
+	kind     string   // "times" or "series"
+	policies []string // series panels
+}
+
+var figures = []figureSpec{
+	{3, "s1", "times", nil},
+	{4, "s1", "series", []string{"greedy", "smart-alloc:P=0.75"}},
+	{5, "s2", "times", nil},
+	{6, "s2", "series", []string{"greedy", "smart-alloc:P=6"}},
+	{7, "usemem", "times", nil},
+	{8, "usemem", "series", []string{"greedy", "reconf-static", "smart-alloc:P=2"}},
+	{9, "s3", "times", nil},
+	{10, "s3", "series", []string{"greedy", "static-alloc", "reconf-static", "smart-alloc:P=4"}},
+}
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "regenerate a single figure (3–10); 0 = all")
+		table   = flag.Int("table", 0, "print a single table (1 or 2); 0 = all")
+		nSeeds  = flag.Int("seeds", 5, "repetitions per (scenario, policy)")
+		seed    = flag.Uint64("seed", 11, "seed for series figures")
+		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		figOnly = flag.Bool("figures-only", false, "skip tables")
+	)
+	flag.Parse()
+
+	seeds := experiments.DefaultSeeds
+	if *nSeeds < len(seeds) && *nSeeds > 0 {
+		seeds = seeds[:*nSeeds]
+	}
+
+	if !*figOnly && (*fig == 0 || *table != 0) {
+		if *table == 0 || *table == 1 {
+			printTable1()
+		}
+		if *table == 0 || *table == 2 {
+			must(experiments.ScenarioTable().Render(os.Stdout))
+			fmt.Println()
+		}
+		if *table != 0 {
+			return
+		}
+	}
+
+	for _, fs := range figures {
+		if *fig != 0 && *fig != fs.fig {
+			continue
+		}
+		scn, err := experiments.BySlug(fs.slug)
+		must(err)
+		switch fs.kind {
+		case "times":
+			fmt.Printf("=== Figure %d: %s running times ===\n", fs.fig, scn.Name)
+			tab, err := experiments.Times(scn, nil, seeds)
+			must(err)
+			must(experiments.TimesReport(tab).Render(os.Stdout))
+			fmt.Println()
+			if *outDir != "" {
+				writeTimesCSV(*outDir, fs.fig, tab)
+			}
+		case "series":
+			fmt.Printf("=== Figure %d: %s tmem usage over time ===\n", fs.fig, scn.Name)
+			for _, pol := range fs.policies {
+				sr, err := experiments.Series(scn, pol, *seed)
+				must(err)
+				must(experiments.RenderSeries(os.Stdout, sr))
+				fmt.Println()
+				if *outDir != "" {
+					writeSeriesCSV(*outDir, fs.fig, pol, sr)
+				}
+			}
+		}
+	}
+}
+
+// printTable1 prints Table I: the statistics the hypervisor collects, with
+// a live sample demonstrating each field.
+func printTable1() {
+	b := tmem.NewBackend(1024, tmem.NewMetaStore(4096))
+	pool := b.NewPool(1, tmem.Persistent)
+	b.RegisterVM(2)
+	b.SetTarget(1, 2)
+	for i := 0; i < 4; i++ {
+		b.Put(tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}, nil)
+	}
+	ms := b.Sample(1)
+	v, _ := ms.Find(1)
+
+	tb := &report.Table{
+		Title:   "Table I — Memory statistics used in SmarTmem (live sample; interval 1s)",
+		Headers: []string{"statistic", "description", "sample"},
+	}
+	tb.AddRow("E_TMEM", "operation cannot succeed", tmem.ETmem.String())
+	tb.AddRow("S_TMEM", "operation succeeded", tmem.STmem.String())
+	tb.AddRow("node_info.free_tmem", "free tmem pages", fmt.Sprint(ms.FreeTmem))
+	tb.AddRow("node_info.vm_count", "registered VMs", fmt.Sprint(ms.VMCount()))
+	tb.AddRow("vm_data_hyp[id].vm_id", "VM identifier in Xen", fmt.Sprint(v.ID))
+	tb.AddRow("vm_data_hyp[id].tmem_used", "tmem pages used by VM", fmt.Sprint(v.TmemUsed))
+	tb.AddRow("vm_data_hyp[id].mm_target", "target pages for VM", fmt.Sprint(v.MMTarget))
+	tb.AddRow("vm_data_hyp[id].puts_total", "puts this interval", fmt.Sprint(v.PutsTotal))
+	tb.AddRow("vm_data_hyp[id].puts_succ", "successful puts this interval", fmt.Sprint(v.PutsSucc))
+	tb.AddRow("memstats.vm_count", "VMs seen by the MM", fmt.Sprint(ms.VMCount()))
+	tb.AddRow("mm_out[i].vm_id / mm_target", "MM policy output", "applied via ApplyTargets")
+	must(tb.Render(os.Stdout))
+	fmt.Println()
+}
+
+func writeTimesCSV(dir string, fig int, tab *experiments.TimesTable) {
+	must(os.MkdirAll(dir, 0o755))
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("fig%d_times.csv", fig)))
+	must(err)
+	defer f.Close()
+	fmt.Fprintf(f, "vm,run,%s\n", strings.Join(tab.Policies, ","))
+	for _, row := range tab.Rows {
+		cells := []string{row.VM, row.Label}
+		for _, pol := range tab.Policies {
+			cells = append(cells, fmt.Sprintf("%.2f", row.ByPolicy[pol].Mean))
+		}
+		fmt.Fprintln(f, strings.Join(cells, ","))
+	}
+}
+
+func writeSeriesCSV(dir string, fig int, pol string, sr *experiments.SeriesRun) {
+	must(os.MkdirAll(dir, 0o755))
+	safe := strings.NewReplacer(":", "_", "=", "", "%", "").Replace(pol)
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("fig%d_%s_series.csv", fig, safe)))
+	must(err)
+	defer f.Close()
+	must(sr.Result.Series.WriteCSV(f))
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartmem-report:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command smartmem-sim runs one SmarTmem scenario under one policy and
+// prints per-VM running times, memory-management statistics and,
+// optionally, the tmem-usage chart and CSV series.
+//
+// Usage:
+//
+//	smartmem-sim -scenario s2 -policy smart-alloc:P=6 -seed 11 -chart
+//	smartmem-sim -scenario usemem -policy greedy -csv series.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartmem"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3")
+		policy   = flag.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
+		seed     = flag.Uint64("seed", 11, "random seed")
+		chart    = flag.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
+		csvPath  = flag.String("csv", "", "write the tmem time series as CSV to this file")
+		list     = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range smartmem.Scenarios() {
+			fmt.Printf("%-8s %-16s tmem=%-8s %s\n", s.Slug, s.Name, s.TmemBytes, s.Description)
+		}
+		return
+	}
+
+	res, err := smartmem.RunScenario(*scenario, *policy, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scenario %s, policy %s, seed %d — finished at %.1f virtual seconds\n\n",
+		*scenario, res.PolicyName, res.Seed, res.EndTime.Seconds())
+
+	fmt.Println("runs:")
+	for _, r := range res.Runs {
+		fmt.Printf("  %-4s %-16s %8.1fs  (%.1fs → %.1fs)\n",
+			r.VM, r.Label, r.Duration().Seconds(), r.Start.Seconds(), r.End.Seconds())
+	}
+
+	fmt.Println("\nper-VM memory management:")
+	for _, vm := range res.VMs {
+		k := vm.Kernel
+		fmt.Printf("  %-4s touches=%d evictions=%d putsOK=%d putsFailed=%d tmemHits=%d diskR=%d diskW=%d diskWait=%.1fs\n",
+			vm.Name, k.Touches, k.Evictions, k.PutsOK, k.PutsFailed, k.TmemHits,
+			k.DiskReads, k.DiskWrites, k.WaitedOnDisk.Seconds())
+	}
+	fmt.Printf("\nhost disk: %d ops, %.1fs busy; MM: %d samples, %d target batches sent\n",
+		res.DiskOps, res.DiskBusy.Seconds(), res.SampleTicks, res.MMBatchesSent)
+
+	if *chart {
+		fmt.Println()
+		if err := smartmem.WriteScenarioSeries(os.Stdout, *scenario, *policy, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim: chart:", err)
+			os.Exit(1)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Series.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,44 @@
+// policy-compare reruns the paper's Scenario 2 (graph-analytics, staggered
+// VM3 — the scenario of Figures 5 and 6) under every policy and prints a
+// compact comparison: who wins for which VM, as in the paper's §V-B.
+//
+// Run with -full for the five-seed version (slower, smaller error bars).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"smartmem"
+)
+
+func main() {
+	full := flag.Bool("full", false, "use the paper's five repetitions instead of two")
+	flag.Parse()
+
+	seeds := []uint64{11, 23}
+	if *full {
+		seeds = nil // default five seeds
+	}
+
+	table, err := smartmem.ScenarioTimes("s2", nil, seeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := smartmem.WriteScenarioTimes(os.Stdout, table); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's headline comparison: smart-alloc(P=6%) vs greedy and
+	// no-tmem for the starved latecomer VM3.
+	fmt.Println()
+	for _, base := range []string{"greedy", "no-tmem"} {
+		sp, err := table.Speedup("VM3", "graph", "smart-alloc:P=6", base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("smart-alloc(P=6%%) runs VM3 %.1f%% faster than %s\n", sp*100, base)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate two memory-pressured VMs sharing a tmem pool under
+// the smart-alloc policy and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartmem"
+)
+
+func main() {
+	res, err := smartmem.Run(smartmem.Config{
+		TmemBytes:   256 * smartmem.MiB,
+		TmemEnabled: true,
+		Policy:      smartmem.SmartAlloc{P: 2},
+		Seed:        1,
+		VMs: []smartmem.VMSpec{
+			{
+				ID: 1, Name: "VM1", RAMBytes: 256 * smartmem.MiB,
+				// usemem allocates 128 MiB steps up to 1 GiB, traversing
+				// each region — far more than the VM's RAM, so it swaps
+				// through tmem.
+				Workload: smartmem.UsememWorkload{
+					StartBytes: 128 * smartmem.MiB,
+					StepBytes:  128 * smartmem.MiB,
+					MaxBytes:   384 * smartmem.MiB,
+				},
+			},
+			{
+				ID: 2, Name: "VM2", RAMBytes: 256 * smartmem.MiB,
+				StartDelay: 5 * smartmem.Second,
+				Workload: smartmem.InMemoryAnalytics{
+					Label:        "analytics",
+					DatasetBytes: 384 * smartmem.MiB,
+					Passes:       2,
+				},
+			},
+		},
+		// Let the usemem VM stop once it has done a few full traversals.
+		Limit: 120 * smartmem.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("finished at %.1f virtual seconds under policy %q\n\n", res.EndTime.Seconds(), res.PolicyName)
+	for _, r := range res.Runs {
+		fmt.Printf("%-4s %-18s took %6.2fs\n", r.VM, r.Label, r.Duration().Seconds())
+	}
+	fmt.Println()
+	for _, vm := range res.VMs {
+		fmt.Printf("%s: %d tmem puts ok, %d failed, %d tmem hits, %d disk reads\n",
+			vm.Name, vm.Kernel.PutsOK, vm.Kernel.PutsFailed, vm.Kernel.TmemHits, vm.Kernel.DiskReads)
+	}
+	fmt.Printf("\npeak tmem use: VM1=%v pages, VM2=%v pages (pool %v pages)\n",
+		res.Series.Get("tmem-VM1").Max(),
+		res.Series.Get("tmem-VM2").Max(),
+		res.Series.Get("free-tmem").At(0).V+res.Series.Get("tmem-VM1").At(0).V+res.Series.Get("tmem-VM2").At(0).V)
+}

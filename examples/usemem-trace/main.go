@@ -1,0 +1,26 @@
+// usemem-trace reruns the paper's Usemem Scenario (Table II row 3) under
+// greedy, reconf-static and smart-alloc(P=2%) and draws the tmem-usage
+// charts of Figure 8, showing the fairness-vs-adaptiveness trade-off:
+// greedy lets the early VMs starve VM3; reconf-static caps everyone
+// equally; smart-alloc sits in between.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"smartmem"
+)
+
+func main() {
+	for _, policy := range []string{"greedy", "reconf-static", "smart-alloc:P=2"} {
+		if err := smartmem.WriteScenarioSeries(os.Stdout, "usemem", policy, 11); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Compare: under greedy VM3's series stays near zero while VM1/VM2")
+	fmt.Println("hold the pool; reconf-static splits it equally among active VMs;")
+	fmt.Println("smart-alloc lets VM1/VM2 take more but converges toward fairness.")
+}

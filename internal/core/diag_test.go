@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/workload"
+)
+
+// Diagnostic: dump policy dynamics for the latecomer scenario. Run with
+// SMARTMEM_DIAG=1 to see the tables; skipped otherwise.
+func TestDiagLatecomerDynamics(t *testing.T) {
+	if os.Getenv("SMARTMEM_DIAG") == "" {
+		t.Skip("diagnostic; set SMARTMEM_DIAG=1 to run")
+	}
+	mk := func(pol policy.Policy) Config {
+		wl := func(iters int) workload.Workload {
+			return workload.GraphAnalytics{
+				Label: "g", GraphBytes: 56 * mem.MiB, Iterations: iters,
+				TouchesPerPagePerIter: 2, WriteFraction: 0.03,
+				CPUPerTouch: 1500 * sim.Microsecond,
+			}
+		}
+		return Config{
+			TmemBytes:   32 * mem.MiB,
+			TmemEnabled: true,
+			Seed:        7,
+			StartJitter: -1,
+			Policy:      pol,
+			VMs: []VMSpec{
+				{ID: 1, Name: "VM1", RAMBytes: 32 * mem.MiB, Workload: wl(30)},
+				{ID: 2, Name: "VM2", RAMBytes: 32 * mem.MiB, StartDelay: 10 * sim.Second, Workload: wl(10)},
+			},
+		}
+	}
+	for _, pol := range []policy.Policy{nil, policy.SmartAlloc{P: 6}} {
+		res, err := Run(mk(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("=== policy %s end=%.1fs\n", res.PolicyName, res.EndTime.Seconds())
+		for _, vm := range res.VMs {
+			fmt.Printf("  %s: runs=%v evict=%d putsOK=%d putsFail=%d dr=%d dw=%d diskWait=%.1fs\n",
+				vm.Name, len(res.RunsFor(vm.Name, "")), vm.Kernel.Evictions, vm.Kernel.PutsOK,
+				vm.Kernel.PutsFailed, vm.Kernel.DiskReads, vm.Kernel.DiskWrites,
+				vm.Kernel.WaitedOnDisk.Seconds())
+		}
+		for _, r := range res.Runs {
+			fmt.Printf("  run %s/%s: %.1fs..%.1fs (%.1fs)\n", r.VM, r.Label,
+				r.Start.Seconds(), r.End.Seconds(), r.Duration().Seconds())
+		}
+		u1, u2 := res.Series.Get("tmem-VM1"), res.Series.Get("tmem-VM2")
+		t1, t2 := res.Series.Get("target-VM1"), res.Series.Get("target-VM2")
+		for i := 0; i < u1.Len(); i += 2 {
+			p := u1.At(i)
+			fmt.Printf("  t=%4.0fs used1=%4.0f tgt1=%4.0f used2=%4.0f tgt2=%4.0f\n",
+				p.T, p.V, t1.ValueAt(p.T), u2.ValueAt(p.T), t2.ValueAt(p.T))
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/metrics"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/tkm"
+	"smartmem/internal/tmem"
+	"smartmem/internal/vdisk"
+	"smartmem/internal/workload"
+)
+
+// RunRecord is one completed workload run or milestone measurement.
+type RunRecord struct {
+	VM    string
+	Label string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the record's elapsed virtual time.
+func (r RunRecord) Duration() sim.Duration { return sim.Duration(r.End - r.Start) }
+
+// VMResult aggregates one VM's end-of-run statistics.
+type VMResult struct {
+	Name   string
+	ID     tmem.VMID
+	Kernel guest.Stats
+	Tmem   tmem.OpCounts
+}
+
+// Result is the outcome of a node run.
+type Result struct {
+	// PolicyName is the policy that governed the run (or "no-tmem").
+	PolicyName string
+	// Seed is the run's random seed.
+	Seed uint64
+	// EndTime is the virtual time when the last workload finished.
+	EndTime sim.Time
+	// HitLimit reports whether the run was cut off by Config.Limit.
+	HitLimit bool
+	// Runs holds every reported run/milestone, in completion order.
+	Runs []RunRecord
+	// Series carries the time series the paper's Figures 4/6/8/10 plot:
+	// "tmem-<vm>" (pages in use), "target-<vm>" (mm_target), and
+	// "free-tmem". Empty in no-tmem mode.
+	Series *metrics.Set
+	// VMs holds per-VM statistics, in config order.
+	VMs []VMResult
+	// MMBatchesSent counts target batches the MM actually transmitted
+	// (after dedup suppression).
+	MMBatchesSent uint64
+	// SampleTicks counts MM sampling intervals processed.
+	SampleTicks uint64
+	// DiskOps / DiskBusy summarize host-disk traffic.
+	DiskOps  uint64
+	DiskBusy sim.Duration
+}
+
+// RunsFor returns the run durations, in completion order, whose VM and
+// label match (empty strings match anything).
+func (r *Result) RunsFor(vm, label string) []RunRecord {
+	var out []RunRecord
+	for _, rec := range r.Runs {
+		if (vm == "" || rec.VM == vm) && (label == "" || rec.Label == label) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Run executes one full node simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+
+	kern := sim.NewKernel(cfg.Seed)
+	kern.SetLimit(sim.Time(cfg.Limit))
+	rootRNG := kern.RNG()
+
+	var backend *tmem.Backend
+	if cfg.TmemEnabled {
+		backend = tmem.NewBackend(mem.PagesIn(cfg.TmemBytes, cfg.PageSize), cfg.newStore())
+	}
+
+	host := vdisk.NewHost(cfg.DiskReadService, cfg.DiskWriteService, cfg.DiskJitter, rootRNG.Split())
+
+	res := &Result{
+		PolicyName: cfg.PolicyName(),
+		Seed:       cfg.Seed,
+		Series:     metrics.NewSet(),
+	}
+
+	// --- guests + workloads ---
+	type vmRuntime struct {
+		spec   VMSpec
+		kernel *guest.Kernel
+	}
+	vms := make([]*vmRuntime, len(cfg.VMs))
+	remaining := len(cfg.VMs)
+	jitterRNG := rootRNG.Split()
+
+	for i, spec := range cfg.VMs {
+		spec := spec
+		g := guest.NewKernel(guest.Config{
+			VM:            spec.ID,
+			RAMPages:      mem.PagesIn(spec.RAMBytes, cfg.PageSize),
+			KernelReserve: cfg.kernelReserve(spec),
+			Backend:          backend,
+			Frontswap:        backend != nil,
+			Cleancache:       backend != nil && cfg.Cleancache,
+			NonExclusiveGets: cfg.NonExclusiveFrontswap,
+			Disk:             vdisk.NewDisk(spec.Name, host),
+		})
+		vms[i] = &vmRuntime{spec: spec, kernel: g}
+
+		delay := sim.Duration(spec.StartDelay)
+		if cfg.StartJitter > 0 {
+			delay += sim.Duration(jitterRNG.Int63n(int64(cfg.StartJitter)))
+		}
+		wlRNG := rootRNG.Split()
+		kern.SpawnAt("wl-"+spec.Name, delay, func(p *sim.Proc) {
+			defer func() { remaining-- }()
+			ctx := &workload.Ctx{
+				Proc:     p,
+				Guest:    g,
+				RNG:      wlRNG,
+				PageSize: cfg.PageSize,
+				Report: func(label string, start, end sim.Time) {
+					res.Runs = append(res.Runs, RunRecord{
+						VM: spec.Name, Label: label, Start: start, End: end,
+					})
+				},
+				Stop: cfg.Stop,
+			}
+			if cfg.OnMilestone != nil {
+				ctx.OnMilestone = func(label string) { cfg.OnMilestone(spec.Name, label) }
+			}
+			spec.Workload.Run(ctx)
+			if end := p.Now(); end > res.EndTime {
+				res.EndTime = end
+			}
+		})
+	}
+
+	// --- MM + monitor process ---
+	var mmDedup *policy.Dedup
+	if backend != nil {
+		var mm tkm.MM
+		if cfg.TransportMM != nil {
+			mm = transportAdapter{cfg.TransportMM}
+		} else {
+			pol := cfg.Policy
+			if pol == nil {
+				pol = policy.Greedy{}
+			}
+			mmDedup = policy.NewDedup(pol)
+			mm = tkm.NewLocalMM(mmDedup)
+		}
+		relay := tkm.New(backend, mm)
+
+		kern.Spawn("mm-tick", func(p *sim.Proc) {
+			for {
+				p.Sleep(cfg.SampleInterval)
+				if remaining == 0 {
+					return
+				}
+				ms, _, err := relay.Tick()
+				if err != nil {
+					// A torn MM connection degrades to greedy: targets
+					// simply stop changing, exactly as in the real system.
+					return
+				}
+				res.SampleTicks++
+				recordSeries(res.Series, p.Now(), ms, cfg)
+			}
+		})
+	}
+
+	kern.Run()
+	res.HitLimit = kern.Ended()
+	if res.HitLimit {
+		res.EndTime = kern.Now()
+	}
+	kern.KillAll()
+
+	// --- final statistics ---
+	for _, vr := range vms {
+		v := VMResult{Name: vr.spec.Name, ID: vr.spec.ID, Kernel: vr.kernel.Stats()}
+		if backend != nil {
+			v.Tmem, _ = backend.Counts(vr.spec.ID)
+		}
+		res.VMs = append(res.VMs, v)
+	}
+	if mmDedup != nil {
+		res.MMBatchesSent = uint64(mmDedup.Sent)
+	}
+	res.DiskOps = host.Ops()
+	res.DiskBusy = host.BusyTime()
+
+	if backend != nil {
+		if err := backend.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("core: post-run invariant violation: %w", err)
+		}
+	}
+	sortRuns(res.Runs)
+	return res, nil
+}
+
+type transportAdapter struct{ t TKMTransport }
+
+func (a transportAdapter) Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error) {
+	return a.t.Handle(ms)
+}
+
+func recordSeries(set *metrics.Set, now sim.Time, ms tmem.MemStats, cfg Config) {
+	t := now.Seconds()
+	byID := make(map[tmem.VMID]string, len(cfg.VMs))
+	for _, vm := range cfg.VMs {
+		byID[vm.ID] = vm.Name
+	}
+	for _, v := range ms.VMs {
+		name, ok := byID[v.ID]
+		if !ok {
+			name = fmt.Sprintf("vm%d", v.ID)
+		}
+		set.Get("tmem-" + name).Add(t, float64(v.TmemUsed))
+		tgt := v.MMTarget
+		if tgt == tmem.Unlimited {
+			tgt = ms.TotalTmem // plot greedy's "no limit" as the whole pool
+		}
+		set.Get("target-" + name).Add(t, float64(tgt))
+	}
+	set.Get("free-tmem").Add(t, float64(ms.FreeTmem))
+}
+
+func sortRuns(runs []RunRecord) {
+	sort.SliceStable(runs, func(i, j int) bool { return runs[i].End < runs[j].End })
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Diagnostic: print per-VM runtimes for each scenario and policy. Run with
+// SMARTMEM_DIAG=1 (optionally SMARTMEM_DIAG_SCN=<slug>).
+func TestDiagScenarioShapes(t *testing.T) {
+	if os.Getenv("SMARTMEM_DIAG") == "" {
+		t.Skip("diagnostic; set SMARTMEM_DIAG=1 to run")
+	}
+	only := os.Getenv("SMARTMEM_DIAG_SCN")
+	for _, s := range Scenarios {
+		if only != "" && s.Slug != only {
+			continue
+		}
+		fmt.Printf("==== %s (tmem %s) ====\n", s.Name, s.TmemBytes)
+		for _, pol := range s.Policies {
+			res, err := RunOne(s, pol, 11)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Slug, pol, err)
+			}
+			fmt.Printf("  %-22s end=%7.1fs ", pol, res.EndTime.Seconds())
+			for _, r := range res.Runs {
+				fmt.Printf(" %s/%s=%.1fs", r.VM, r.Label, r.Duration().Seconds())
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"smartmem/internal/report"
+)
+
+// TimesReport renders a TimesTable in the layout of the paper's
+// running-time figures: one row per VM×run, one column per policy.
+func TimesReport(t *TimesTable) *report.Table {
+	tb := &report.Table{
+		Title:   fmt.Sprintf("%s — %s running times (virtual seconds, mean±std over %d seeds)", t.Scenario.TimesFigure, t.Scenario.Name, len(t.Seeds)),
+		Headers: append([]string{"vm", "run"}, t.Policies...),
+	}
+	for _, row := range t.Rows {
+		cells := []string{row.VM, row.Label}
+		for _, pol := range t.Policies {
+			cells = append(cells, report.FormatSummary(row.ByPolicy[pol]))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// RenderSeries draws the per-VM tmem usage chart of one run (the paper's
+// Figures 4/6/8/10 panels), plus the target series for the VM the paper
+// annotates (VM3).
+func RenderSeries(w io.Writer, sr *SeriesRun) error {
+	set := sr.Result.Series
+	var names []string
+	for _, vm := range []string{"VM1", "VM2", "VM3"} {
+		if set.Has("tmem-" + vm) {
+			names = append(names, "tmem-"+vm)
+		}
+	}
+	if set.Has("target-VM3") {
+		names = append(names, "target-VM3")
+	}
+	if len(names) == 0 {
+		_, err := fmt.Fprintln(w, "(no tmem series: no-tmem run)")
+		return err
+	}
+	c := report.Chart{
+		Title: fmt.Sprintf("%s — %s tmem usage, policy %s (seed %d)",
+			sr.Scenario.SeriesFigure, sr.Scenario.Name, sr.PolicySpec, sr.Seed),
+		YLabel: "pages",
+	}
+	return c.Render(w, set, names)
+}
+
+// ScenarioTable renders Table II: the scenario registry.
+func ScenarioTable() *report.Table {
+	tb := &report.Table{
+		Title:   "Table II — List of scenarios used for benchmarking (3 VMs each)",
+		Headers: []string{"scenario", "tmem", "policies", "description"},
+	}
+	for _, s := range Scenarios {
+		tb.AddRow(s.Name, s.TmemBytes.String(), fmt.Sprintf("%d", len(s.Policies)), s.Description)
+	}
+	return tb
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"smartmem/internal/core"
+	"smartmem/internal/metrics"
+)
+
+// DefaultSeeds are the run repetitions ("every scenario is executed five
+// times with every policy", §IV).
+var DefaultSeeds = []uint64{11, 23, 37, 51, 68}
+
+// RunOne executes one (scenario, policy, seed) combination.
+func RunOne(s *Scenario, policySpec string, seed uint64) (*core.Result, error) {
+	cfg, err := s.Build(seed, policySpec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s seed %d: %w", s.Slug, policySpec, seed, err)
+	}
+	if res.HitLimit {
+		return nil, fmt.Errorf("experiments: %s/%s seed %d hit the virtual-time limit", s.Slug, policySpec, seed)
+	}
+	return res, nil
+}
+
+// TimesRow aggregates one measurement (a VM × run label) across policies.
+type TimesRow struct {
+	VM       string
+	Label    string
+	ByPolicy map[string]metrics.Summary // policy spec → runtime summary (seconds)
+}
+
+// TimesTable is the data behind a running-times figure (Figures 3/5/7/9):
+// per-VM, per-run mean±std running times for every policy.
+type TimesTable struct {
+	Scenario *Scenario
+	Policies []string
+	Seeds    []uint64
+	Rows     []TimesRow
+}
+
+// Row returns the row for a VM and label, if present.
+func (t *TimesTable) Row(vm, label string) (TimesRow, bool) {
+	for _, r := range t.Rows {
+		if r.VM == vm && r.Label == label {
+			return r, true
+		}
+	}
+	return TimesRow{}, false
+}
+
+// Speedup returns how much faster policy a is than policy b for a given
+// row, as a fraction of b's mean (paper convention).
+func (t *TimesTable) Speedup(vm, label, a, b string) (float64, error) {
+	row, ok := t.Row(vm, label)
+	if !ok {
+		return 0, fmt.Errorf("experiments: no measurements for %s/%s", vm, label)
+	}
+	sa, oka := row.ByPolicy[a]
+	sb, okb := row.ByPolicy[b]
+	if !oka || !okb {
+		return 0, fmt.Errorf("experiments: missing policy %q or %q in row %s/%s", a, b, vm, label)
+	}
+	return metrics.Speedup(sa, sb), nil
+}
+
+// Times runs the scenario for every (policy, seed) combination and
+// aggregates running times. policies defaults to the scenario's own list;
+// seeds defaults to DefaultSeeds.
+func Times(s *Scenario, policies []string, seeds []uint64) (*TimesTable, error) {
+	if policies == nil {
+		policies = s.Policies
+	}
+	if seeds == nil {
+		seeds = DefaultSeeds
+	}
+	type key struct{ vm, label string }
+	acc := make(map[key]map[string][]float64)
+	var order []key
+
+	for _, pol := range policies {
+		for _, seed := range seeds {
+			res, err := RunOne(s, pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, run := range res.Runs {
+				k := key{run.VM, run.Label}
+				m, ok := acc[k]
+				if !ok {
+					m = make(map[string][]float64)
+					acc[k] = m
+					order = append(order, k)
+				}
+				m[pol] = append(m[pol], run.Duration().Seconds())
+			}
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].vm != order[j].vm {
+			return order[i].vm < order[j].vm
+		}
+		return order[i].label < order[j].label
+	})
+
+	table := &TimesTable{Scenario: s, Policies: policies, Seeds: seeds}
+	for _, k := range order {
+		row := TimesRow{VM: k.vm, Label: k.label, ByPolicy: make(map[string]metrics.Summary)}
+		for pol, vals := range acc[k] {
+			row.ByPolicy[pol] = metrics.Summarize(vals)
+		}
+		table.Rows = append(table.Rows, row)
+	}
+	return table, nil
+}
+
+// SeriesRun holds the tmem-usage time series of one (policy, seed) run —
+// the data behind Figures 4, 6, 8 and 10.
+type SeriesRun struct {
+	Scenario   *Scenario
+	PolicySpec string
+	Seed       uint64
+	Result     *core.Result
+}
+
+// Series executes one run and returns its usage/target series.
+func Series(s *Scenario, policySpec string, seed uint64) (*SeriesRun, error) {
+	res, err := RunOne(s, policySpec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SeriesRun{Scenario: s, PolicySpec: policySpec, Seed: seed, Result: res}, nil
+}

@@ -1,0 +1,500 @@
+package guest
+
+import (
+	"testing"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+	"smartmem/internal/vdisk"
+)
+
+const pgSize = 4096
+
+type rig struct {
+	k    *sim.Kernel
+	be   *tmem.Backend
+	host *vdisk.Host
+}
+
+func newRig(tmemPages mem.Pages) *rig {
+	k := sim.NewKernel(1)
+	var be *tmem.Backend
+	if tmemPages > 0 {
+		be = tmem.NewBackend(tmemPages, tmem.NewMetaStore(pgSize))
+	}
+	return &rig{
+		k:    k,
+		be:   be,
+		host: vdisk.NewHost(3*sim.Millisecond, 3*sim.Millisecond, 0, nil),
+	}
+}
+
+func (r *rig) guest(vm tmem.VMID, ram mem.Pages, frontswap, cleancache bool) *Kernel {
+	return NewKernel(Config{
+		VM:         vm,
+		RAMPages:   ram,
+		Backend:    r.be,
+		Frontswap:  frontswap,
+		Cleancache: cleancache,
+		Disk:       vdisk.NewDisk("d", r.host),
+	})
+}
+
+// nonExclGuest builds a guest with swap-cache (non-exclusive) gets.
+func (r *rig) nonExclGuest(vm tmem.VMID, ram mem.Pages) *Kernel {
+	return NewKernel(Config{
+		VM:               vm,
+		RAMPages:         ram,
+		Backend:          r.be,
+		Frontswap:        true,
+		NonExclusiveGets: true,
+		Disk:             vdisk.NewDisk("d", r.host),
+	})
+}
+
+// run executes body as a simulated process and returns its virtual runtime.
+func (r *rig) run(body func(p *sim.Proc)) sim.Time {
+	var end sim.Time
+	r.k.Spawn("w", func(p *sim.Proc) {
+		body(p)
+		end = p.Now()
+	})
+	r.k.Run()
+	return end
+}
+
+func TestTouchWithinRAMIsCheap(t *testing.T) {
+	r := newRig(0)
+	g := r.guest(1, 100, false, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 50, true)
+	})
+	s := g.Stats()
+	if s.MinorFaults != 50 {
+		t.Errorf("minor faults = %d, want 50", s.MinorFaults)
+	}
+	if s.Evictions != 0 || s.DiskReads != 0 {
+		t.Errorf("unexpected evictions/disk: %+v", s)
+	}
+	if g.Resident() != 50 {
+		t.Errorf("resident = %d, want 50", g.Resident())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictionGoesToFrontswap(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 10, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 25, true) // 15 dirty pages must be evicted
+	})
+	s := g.Stats()
+	if s.Evictions != 15 {
+		t.Errorf("evictions = %d, want 15", s.Evictions)
+	}
+	if s.PutsOK != 15 || s.PutsFailed != 0 {
+		t.Errorf("puts = %d ok, %d failed", s.PutsOK, s.PutsFailed)
+	}
+	if got := r.be.UsedBy(1); got != 15 {
+		t.Errorf("backend used = %d, want 15", got)
+	}
+	if s.DiskReads != 0 || s.DiskWrites != 0 {
+		t.Errorf("disk traffic without need: %+v", s)
+	}
+}
+
+// Exclusive gets (the default, matching the Xen frontswap driver): a load
+// consumes the tmem copy and leaves the page dirty.
+func TestExclusiveGetConsumesCopy(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 10, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 20, true) // pages 0..9 evicted to tmem
+		if used := r.be.UsedBy(1); used != 10 {
+			t.Fatalf("backend used = %d, want 10", used)
+		}
+		g.Access(p, 0, 5, false) // refault 0..4
+		s := g.Stats()
+		if s.TmemHits != 5 {
+			t.Errorf("tmem hits = %d, want 5", s.TmemHits)
+		}
+		if s.TmemFlushes != 5 {
+			t.Errorf("flushes = %d, want 5 (exclusive gets invalidate)", s.TmemFlushes)
+		}
+		// 10 evicted initially, 5 consumed by exclusive gets, 5 new puts
+		// for the evicted victims: 10 again.
+		if used := r.be.UsedBy(1); used != 10 {
+			t.Errorf("backend used = %d, want 10", used)
+		}
+	})
+}
+
+// Swap-cache semantics (non-exclusive gets, ablation mode): a frontswap
+// load keeps the tmem copy valid; the clean page's later eviction is free;
+// a write invalidates the copy.
+func TestRefaultKeepsCopyUntilDirtied(t *testing.T) {
+	r := newRig(1000)
+	g := r.nonExclGuest(1, 10)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 20, true) // pages 0..9 evicted to tmem
+		used := r.be.UsedBy(1)
+		if used != 10 {
+			t.Fatalf("backend used = %d, want 10", used)
+		}
+
+		// Read pages 0..4 back: tmem hits, copies stay valid.
+		g.Access(p, 0, 5, false)
+		if g.Stats().TmemHits != 5 {
+			t.Errorf("tmem hits = %d, want 5", g.Stats().TmemHits)
+		}
+		if g.Stats().TmemFlushes != 0 {
+			t.Errorf("flushes = %d, want 0 (reads keep copies)", g.Stats().TmemFlushes)
+		}
+		// 5 evictions happened to make room; the victims (10..14) were
+		// dirty, so 5 new puts: usage = 10 - 0 + 5.
+		if got := r.be.UsedBy(1); got != 15 {
+			t.Errorf("backend used = %d, want 15", got)
+		}
+
+		// Re-evicting the clean pages 0..4 costs nothing. Resident is now
+		// {15..19, 0..4}; reheat 15..19 so the clean pages become the LRU
+		// victims, then fault in 5 fresh pages.
+		g.Access(p, 15, 5, false)
+		prevPuts := g.Stats().PutsOK
+		g.Access(p, 100, 5, false) // reads of fresh pages (minor faults)
+		if g.Stats().PutsOK != prevPuts {
+			t.Errorf("clean re-eviction issued puts")
+		}
+		if g.Stats().CleanEvicts != 5 {
+			t.Errorf("clean evicts = %d, want 5", g.Stats().CleanEvicts)
+		}
+
+		// Writing a tmem-backed page invalidates its copy.
+		preFlush := g.Stats().TmemFlushes
+		usedBefore := r.be.UsedBy(1)
+		g.Touch(p, 0, true) // refault (get) then dirty (flush)
+		if g.Stats().TmemFlushes != preFlush+1 {
+			t.Errorf("write did not flush the stale copy")
+		}
+		if got := r.be.UsedBy(1); got >= usedBefore+1 {
+			t.Errorf("backend used grew on invalidation: %d -> %d", usedBefore, got)
+		}
+	})
+	if err := r.be.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoTmemFallsBackToDisk(t *testing.T) {
+	r := newRig(0)
+	g := r.guest(1, 10, false, false)
+	rt := r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 20, true)
+		g.Access(p, 0, 5, false)
+	})
+	s := g.Stats()
+	if s.PutsOK != 0 {
+		t.Error("puts succeeded without tmem")
+	}
+	if s.DiskReads != 5 {
+		t.Errorf("disk reads = %d, want 5", s.DiskReads)
+	}
+	// 10 initial swap-outs plus 5 more when the refaults evicted dirty
+	// victims (pages 10..14, written once and never stored).
+	if s.DiskWrites != 15 {
+		t.Errorf("disk writes = %d, want 15", s.DiskWrites)
+	}
+	if rt < sim.Time(20*3*sim.Millisecond) {
+		t.Errorf("runtime %v too short for 20 disk ops", rt)
+	}
+}
+
+func TestPutFailureFallsBackToDisk(t *testing.T) {
+	r := newRig(5) // tiny tmem: only 5 pages fit
+	g := r.guest(1, 10, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 30, true) // 20 evictions, only 5 puts can succeed
+	})
+	s := g.Stats()
+	if s.PutsOK != 5 {
+		t.Errorf("puts ok = %d, want 5", s.PutsOK)
+	}
+	if s.PutsFailed != 15 {
+		t.Errorf("puts failed = %d, want 15", s.PutsFailed)
+	}
+	if s.DiskWrites != 15 {
+		t.Errorf("disk writes = %d, want 15", s.DiskWrites)
+	}
+	c, _ := r.be.Counts(1)
+	if c.PutsTotal != 20 || c.PutsSucc != 5 {
+		t.Errorf("backend counts = %+v", c)
+	}
+}
+
+func TestTargetEnforcementReachesGuest(t *testing.T) {
+	r := newRig(1000)
+	r.be.RegisterVM(1)
+	r.be.SetTarget(1, 3)
+	g := r.guest(1, 10, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 20, true)
+	})
+	if got := r.be.UsedBy(1); got != 3 {
+		t.Errorf("backend used = %d, want 3 (target-capped)", got)
+	}
+	if g.Stats().PutsFailed != 7 {
+		t.Errorf("failed puts = %d, want 7", g.Stats().PutsFailed)
+	}
+}
+
+func TestLRUEvictsColdestPage(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 3, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Touch(p, 100, true)
+		g.Touch(p, 101, true)
+		g.Touch(p, 102, true)
+		g.Touch(p, 100, false) // reheat page 100
+		g.Touch(p, 103, true)  // evicts 101, the coldest
+		if r.be.UsedBy(1) != 1 {
+			t.Errorf("used = %d, want 1", r.be.UsedBy(1))
+		}
+		pre := g.Stats().TmemHits
+		g.Touch(p, 100, false)
+		if g.Stats().TmemHits != pre {
+			t.Error("page 100 unexpectedly non-resident")
+		}
+		g.Touch(p, 101, false)
+		if g.Stats().TmemHits != pre+1 {
+			t.Error("page 101 not served from tmem")
+		}
+	})
+}
+
+func TestFreeReleasesEverything(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 10, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 25, true) // 15 in tmem, 10 resident
+		g.Free(p, 0, 25)
+	})
+	s := g.Stats()
+	if s.FreedPages != 25 {
+		t.Errorf("freed = %d, want 25", s.FreedPages)
+	}
+	if g.Resident() != 0 {
+		t.Errorf("resident = %d, want 0", g.Resident())
+	}
+	if got := r.be.UsedBy(1); got != 0 {
+		t.Errorf("backend used = %d, want 0 after Free", got)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Freeing unknown pages is harmless.
+	r.run(func(p *sim.Proc) { g.Free(p, 1000, 10) })
+}
+
+func TestCleancachePath(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 10, false, true)
+	r.run(func(p *sim.Proc) {
+		g.ReadFile(p, 7, 0, 20) // 10 evicted clean → cleancache
+		s := g.Stats()
+		if s.PutsOK != 10 {
+			t.Errorf("cleancache puts = %d, want 10", s.PutsOK)
+		}
+		if r.be.UsedBy(1) != 10 {
+			t.Errorf("backend used = %d, want 10", r.be.UsedBy(1))
+		}
+		preReads := s.DiskReads
+		g.ReadFile(p, 7, 0, 5) // refault from cleancache, no disk
+		s = g.Stats()
+		if s.TmemHits != 5 {
+			t.Errorf("cleancache hits = %d, want 5", s.TmemHits)
+		}
+		if s.DiskReads != preReads {
+			t.Error("cleancache refault went to disk")
+		}
+		// Ephemeral gets are exclusive: the copies are gone.
+		if r.be.UsedBy(1) != 10-5+5 { // 5 consumed, but refaults evicted 5 others that re-put
+			// Eviction victims were other clean file pages that re-put:
+			// exact count depends on LRU; just check invariants instead.
+			_ = s
+		}
+	})
+	if err := r.be.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleancacheMissFallsBackToDisk(t *testing.T) {
+	r := newRig(4) // tiny: ephemeral pages will be evicted by pressure
+	g := r.guest(1, 4, true, true)
+	r.run(func(p *sim.Proc) {
+		g.ReadFile(p, 7, 0, 8) // clean pages offered to cleancache
+		// Hammer anonymous memory so persistent puts evict the ephemeral
+		// cleancache pages.
+		g.Access(p, 0, 8, true)
+		preMiss := g.Stats().TmemMisses
+		g.ReadFile(p, 7, 0, 4)
+		if g.Stats().TmemMisses <= preMiss {
+			t.Error("expected cleancache misses after ephemeral eviction")
+		}
+	})
+	if err := r.be.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCleanDropWithoutCleancache(t *testing.T) {
+	r := newRig(0)
+	g := r.guest(1, 5, false, false)
+	r.run(func(p *sim.Proc) {
+		g.ReadFile(p, 3, 0, 10)
+	})
+	s := g.Stats()
+	if s.CleanEvicts != 5 {
+		t.Errorf("clean evicts = %d, want 5", s.CleanEvicts)
+	}
+	if s.PutsOK != 0 || s.PutsFailed != 0 {
+		t.Error("tmem puts happened without tmem")
+	}
+}
+
+func TestTmemFasterThanDisk(t *testing.T) {
+	mk := func(tmemPages mem.Pages, fs bool) sim.Time {
+		r := newRig(tmemPages)
+		g := r.guest(1, 10, fs, false)
+		return r.run(func(p *sim.Proc) {
+			for rep := 0; rep < 5; rep++ {
+				g.Access(p, 0, 30, true)
+			}
+		})
+	}
+	withTmem := mk(1000, true)
+	noTmem := mk(0, false)
+	if withTmem*5 > noTmem {
+		t.Errorf("tmem run %v not ≫ faster than disk run %v", withTmem, noTmem)
+	}
+}
+
+func TestIdleAdvancesTime(t *testing.T) {
+	r := newRig(0)
+	g := r.guest(1, 10, false, false)
+	rt := r.run(func(p *sim.Proc) {
+		g.Idle(p, 5*sim.Second)
+	})
+	if rt != sim.Time(5*sim.Second) {
+		t.Errorf("runtime = %v, want 5s", rt)
+	}
+}
+
+func TestAccessStride(t *testing.T) {
+	r := newRig(1000)
+	g := r.guest(1, 100, true, false)
+	r.run(func(p *sim.Proc) {
+		g.AccessStride(p, 0, 10, 16, true)
+	})
+	if g.Stats().MinorFaults != 10 {
+		t.Errorf("minor faults = %d, want 10 distinct strided pages", g.Stats().MinorFaults)
+	}
+}
+
+func TestShutdownReleasesTmem(t *testing.T) {
+	r := newRig(100)
+	g := r.guest(1, 5, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 20, true)
+	})
+	if r.be.UsedBy(1) == 0 {
+		t.Fatal("test needs tmem usage")
+	}
+	g.Shutdown()
+	if r.be.FreePages() != 100 {
+		t.Errorf("free after shutdown = %d, want 100", r.be.FreePages())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	host := vdisk.NewHost(sim.Millisecond, sim.Millisecond, 0, nil)
+	disk := vdisk.NewDisk("d", host)
+	for name, cfg := range map[string]Config{
+		"zero RAM":        {RAMPages: 0, Disk: disk},
+		"reserve too big": {RAMPages: 10, KernelReserve: 10, Disk: disk},
+		"nil disk":        {RAMPages: 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewKernel(cfg)
+		}()
+	}
+}
+
+func TestKernelReserveShrinksUsable(t *testing.T) {
+	r := newRig(0)
+	g := NewKernel(Config{
+		VM: 1, RAMPages: 100, KernelReserve: 30,
+		Disk: vdisk.NewDisk("d", r.host),
+	})
+	if g.UsablePages() != 70 {
+		t.Errorf("usable = %d, want 70", g.UsablePages())
+	}
+	r.run(func(p *sim.Proc) { g.Access(p, 0, 80, true) })
+	if g.Resident() != 70 {
+		t.Errorf("resident = %d, want 70 (capped by reserve)", g.Resident())
+	}
+}
+
+// Random workloads keep all invariants across guest and backend.
+func TestGuestBackendInvariantFuzz(t *testing.T) {
+	r := newRig(64)
+	rng := sim.NewRNG(99)
+	g1 := r.guest(1, 32, true, true)
+	g2 := r.guest(2, 32, true, false)
+	r.run(func(p *sim.Proc) {
+		for i := 0; i < 3000; i++ {
+			g := g1
+			if rng.Intn(2) == 0 {
+				g = g2
+			}
+			switch rng.Intn(10) {
+			case 0:
+				g.Free(p, PageID(rng.Intn(100)), mem.Pages(rng.Intn(20)))
+			case 1, 2:
+				g.ReadFile(p, tmem.ObjectID(rng.Intn(3)), tmem.PageIndex(rng.Intn(50)), mem.Pages(rng.Intn(8)))
+			default:
+				g.Touch(p, PageID(rng.Intn(100)), rng.Intn(3) == 0)
+			}
+			if i%100 == 0 {
+				if err := g.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.be.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func TestDefaultCostsScaleWithPageSize(t *testing.T) {
+	small := DefaultCosts(4 * mem.KiB)
+	big := DefaultCosts(64 * mem.KiB)
+	if big.RAMTouch != 16*small.RAMTouch {
+		t.Errorf("RAMTouch scaling: %v vs %v", big.RAMTouch, small.RAMTouch)
+	}
+	if big.TmemOp <= small.TmemOp {
+		t.Error("TmemOp did not scale up")
+	}
+	if big.TmemFlush != small.TmemFlush {
+		t.Error("flush cost should not scale (no page copy)")
+	}
+}

@@ -1,0 +1,212 @@
+// Package kvstore exposes the tmem backend as a network key–value service:
+// the page-copy put/get/flush interface of the paper served over any
+// net.Conn with a compact binary protocol. It demonstrates that the tmem
+// store is a genuine key–value system (paper §II-B: "a key–value store
+// with synchronous put, get and flush operations") and provides the
+// transport used by cmd/smartmem-kvd.
+//
+// Wire protocol (big-endian). Request:
+//
+//	[1 byte op][16 byte key][4 byte len][len bytes data]
+//
+// Response:
+//
+//	[1 byte status][4 byte len][len bytes data]
+//
+// Ops: 1=put, 2=get, 3=flush-page, 4=flush-object, 5=new-pool (key.Pool
+// carries the VM id and key.Object the pool kind; the response status
+// carries the new pool id, which is non-negative and therefore disjoint
+// from the negative error statuses).
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"smartmem/internal/tmem"
+)
+
+// Op codes.
+const (
+	OpPut         byte = 1
+	OpGet         byte = 2
+	OpFlushPage   byte = 3
+	OpFlushObject byte = 4
+	OpNewPool     byte = 5
+)
+
+const reqHeaderSize = 1 + 16 + 4
+
+// Server serves the KV protocol over a listener backed by one tmem
+// backend shared by all connections.
+type Server struct {
+	backend *tmem.Backend
+}
+
+// NewServer wraps a backend.
+func NewServer(b *tmem.Backend) *Server {
+	if b == nil {
+		panic("kvstore: nil backend")
+	}
+	return &Server{backend: b}
+}
+
+// Backend returns the underlying tmem backend.
+func (s *Server) Backend() *tmem.Backend { return s.backend }
+
+// Serve accepts and serves connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() { _ = s.ServeConn(c) }()
+	}
+}
+
+// ServeConn serves one connection until EOF or protocol error.
+func (s *Server) ServeConn(c net.Conn) error {
+	defer c.Close()
+	pageSize := int(s.backend.PageSize())
+	hdr := make([]byte, reqHeaderSize)
+	buf := make([]byte, pageSize)
+	page := make([]byte, pageSize)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		key, err := tmem.KeyFromWire(hdr[1:17])
+		if err != nil {
+			return err
+		}
+		n := binary.BigEndian.Uint32(hdr[17:21])
+		if int(n) > pageSize {
+			return fmt.Errorf("kvstore: payload %d exceeds page size %d", n, pageSize)
+		}
+		data := buf[:n]
+		if _, err := io.ReadFull(c, data); err != nil {
+			return err
+		}
+
+		var status tmem.Status
+		var payload []byte
+		switch hdr[0] {
+		case OpPut:
+			status = s.backend.Put(key, data)
+		case OpGet:
+			status = s.backend.Get(key, page)
+			if status == tmem.STmem {
+				payload = page
+			}
+		case OpFlushPage:
+			status = s.backend.FlushPage(key)
+		case OpFlushObject:
+			_, status = s.backend.FlushObject(key.Pool, key.Object)
+		case OpNewPool:
+			pool := s.backend.NewPool(tmem.VMID(key.Pool), tmem.PoolKind(key.Object))
+			status = tmem.Status(pool)
+		default:
+			return fmt.Errorf("kvstore: unknown op %d", hdr[0])
+		}
+		resp := make([]byte, 0, 5+len(payload))
+		resp = append(resp, byte(int8(status)))
+		resp = binary.BigEndian.AppendUint32(resp, uint32(len(payload)))
+		resp = append(resp, payload...)
+		if _, err := c.Write(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// Client speaks the KV protocol over an established connection. Not safe
+// for concurrent use (the protocol is strict request/response).
+type Client struct {
+	c        net.Conn
+	pageSize int
+}
+
+// NewClient wraps a connection; pageSize must match the server's backend.
+func NewClient(c net.Conn, pageSize int) *Client {
+	if c == nil {
+		panic("kvstore: nil conn")
+	}
+	if pageSize <= 0 {
+		panic("kvstore: non-positive page size")
+	}
+	return &Client{c: c, pageSize: pageSize}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+func (cl *Client) do(op byte, key tmem.Key, data []byte) (tmem.Status, []byte, error) {
+	if len(data) > cl.pageSize {
+		return tmem.EInval, nil, fmt.Errorf("kvstore: payload %d exceeds page size %d", len(data), cl.pageSize)
+	}
+	req := make([]byte, 0, reqHeaderSize+len(data))
+	req = append(req, op)
+	req = key.AppendWire(req)
+	req = binary.BigEndian.AppendUint32(req, uint32(len(data)))
+	req = append(req, data...)
+	if _, err := cl.c.Write(req); err != nil {
+		return tmem.EInval, nil, err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(cl.c, hdr[:]); err != nil {
+		return tmem.EInval, nil, err
+	}
+	status := tmem.Status(int8(hdr[0]))
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if int(n) > cl.pageSize {
+		return tmem.EInval, nil, fmt.Errorf("kvstore: response payload %d exceeds page size", n)
+	}
+	var payload []byte
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(cl.c, payload); err != nil {
+			return tmem.EInval, nil, err
+		}
+	}
+	return status, payload, nil
+}
+
+// NewPool creates a pool for vm of the given kind and returns its id.
+func (cl *Client) NewPool(vm tmem.VMID, kind tmem.PoolKind) (tmem.PoolID, error) {
+	st, _, err := cl.do(OpNewPool, tmem.Key{Pool: tmem.PoolID(vm), Object: tmem.ObjectID(kind)}, nil)
+	if err != nil {
+		return tmem.InvalidPool, err
+	}
+	if st < 0 {
+		return tmem.InvalidPool, fmt.Errorf("kvstore: new-pool failed: %v", st)
+	}
+	return tmem.PoolID(st), nil
+}
+
+// Put stores a page (copied; nil means a zero page).
+func (cl *Client) Put(key tmem.Key, data []byte) (tmem.Status, error) {
+	st, _, err := cl.do(OpPut, key, data)
+	return st, err
+}
+
+// Get retrieves a page; on S_TMEM the returned slice holds the page.
+func (cl *Client) Get(key tmem.Key) (tmem.Status, []byte, error) {
+	return cl.do(OpGet, key, nil)
+}
+
+// FlushPage invalidates one page.
+func (cl *Client) FlushPage(key tmem.Key) (tmem.Status, error) {
+	st, _, err := cl.do(OpFlushPage, key, nil)
+	return st, err
+}
+
+// FlushObject invalidates every page of an object.
+func (cl *Client) FlushObject(pool tmem.PoolID, object tmem.ObjectID) (tmem.Status, error) {
+	st, _, err := cl.do(OpFlushObject, tmem.Key{Pool: pool, Object: object}, nil)
+	return st, err
+}

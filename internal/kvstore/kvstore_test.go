@@ -1,0 +1,194 @@
+package kvstore
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+const pageSize = 4096
+
+func pipeRig(t *testing.T, pages mem.Pages) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer(tmem.NewBackend(pages, tmem.NewDataStore(pageSize)))
+	a, b := net.Pipe()
+	go func() { _ = srv.ServeConn(b) }()
+	cl := NewClient(a, pageSize)
+	t.Cleanup(func() { cl.Close() })
+	return cl, srv
+}
+
+func page(b byte) []byte {
+	p := make([]byte, pageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestPutGetFlushOverWire(t *testing.T) {
+	cl, _ := pipeRig(t, 64)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := tmem.Key{Pool: pool, Object: 9, Index: 4}
+
+	st, err := cl.Put(key, page(0xCD))
+	if err != nil || st != tmem.STmem {
+		t.Fatalf("Put = %v, %v", st, err)
+	}
+	st, got, err := cl.Get(key)
+	if err != nil || st != tmem.STmem {
+		t.Fatalf("Get = %v, %v", st, err)
+	}
+	if !bytes.Equal(got, page(0xCD)) {
+		t.Error("wire round trip corrupted page")
+	}
+	st, err = cl.FlushPage(key)
+	if err != nil || st != tmem.STmem {
+		t.Fatalf("Flush = %v, %v", st, err)
+	}
+	st, _, err = cl.Get(key)
+	if err != nil || st != tmem.ETmem {
+		t.Errorf("Get after flush = %v, %v (want E_TMEM)", st, err)
+	}
+}
+
+func TestFlushObjectOverWire(t *testing.T) {
+	cl, srv := pipeRig(t, 64)
+	pool, _ := cl.NewPool(1, tmem.Persistent)
+	for i := 0; i < 5; i++ {
+		if st, _ := cl.Put(tmem.Key{Pool: pool, Object: 3, Index: tmem.PageIndex(i)}, nil); st != tmem.STmem {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if st, err := cl.FlushObject(pool, 3); err != nil || st != tmem.STmem {
+		t.Fatalf("FlushObject = %v, %v", st, err)
+	}
+	if used := srv.Backend().UsedBy(1); used != 0 {
+		t.Errorf("backend used = %d after object flush", used)
+	}
+}
+
+func TestCapacityErrorsCrossTheWire(t *testing.T) {
+	cl, _ := pipeRig(t, 2)
+	pool, _ := cl.NewPool(1, tmem.Persistent)
+	ok := 0
+	for i := 0; i < 4; i++ {
+		st, err := cl.Put(tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == tmem.STmem {
+			ok++
+		} else if st != tmem.ETmem {
+			t.Fatalf("unexpected status %v", st)
+		}
+	}
+	if ok != 2 {
+		t.Errorf("puts succeeded = %d, want 2 (capacity)", ok)
+	}
+	// Unknown pool surfaces E_INVAL.
+	if st, _ := cl.Put(tmem.Key{Pool: 99, Object: 1, Index: 1}, nil); st != tmem.EInval {
+		t.Errorf("unknown pool put = %v, want E_INVAL", st)
+	}
+}
+
+func TestOversizedPayloadRejectedClientSide(t *testing.T) {
+	cl, _ := pipeRig(t, 8)
+	pool, _ := cl.NewPool(1, tmem.Persistent)
+	if _, err := cl.Put(tmem.Key{Pool: pool}, make([]byte, pageSize+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestTargetsEnforcedOverWire(t *testing.T) {
+	cl, srv := pipeRig(t, 100)
+	pool, _ := cl.NewPool(1, tmem.Persistent)
+	srv.Backend().SetTarget(1, 3)
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if st, _ := cl.Put(tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}, nil); st == tmem.STmem {
+			ok++
+		}
+	}
+	if ok != 3 {
+		t.Errorf("puts within target = %d, want 3", ok)
+	}
+}
+
+func TestConcurrentClientsOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	srv := NewServer(tmem.NewBackend(1024, tmem.NewDataStore(pageSize)))
+	go func() { _ = srv.Serve(l) }()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(vm tmem.VMID) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			cl := NewClient(conn, pageSize)
+			defer cl.Close()
+			pool, err := cl.NewPool(vm, tmem.Persistent)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 50; j++ {
+				key := tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(j)}
+				if st, err := cl.Put(key, page(byte(vm))); err != nil || st != tmem.STmem {
+					errs <- err
+					return
+				}
+				st, got, err := cl.Get(key)
+				if err != nil || st != tmem.STmem || got[0] != byte(vm) {
+					errs <- err
+					return
+				}
+			}
+		}(tmem.VMID(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Backend().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil backend":   func() { NewServer(nil) },
+		"nil conn":      func() { NewClient(nil, pageSize) },
+		"bad page size": func() { a, _ := net.Pipe(); NewClient(a, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

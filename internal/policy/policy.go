@@ -1,0 +1,286 @@
+// Package policy implements the Memory Manager's high-level tmem
+// management policies (paper §III-E): the default greedy behaviour and the
+// three managed policies static-alloc (Algorithm 2), reconf-static
+// (Algorithm 3) and smart-alloc (Algorithm 4 with Equations 1–2).
+//
+// A Policy is a pure function from the hypervisor's per-interval statistics
+// sample (tmem.MemStats, Table I) to a batch of per-VM capacity targets
+// (mm_out). All state a policy needs is either inside the sample (the
+// hypervisor echoes current targets back, so smart-alloc's increments are
+// stateless here) or local to the policy value.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+// Policy computes new target allocations from a statistics sample. A nil
+// return means "no change" (nothing is sent to the hypervisor).
+type Policy interface {
+	// Name returns the policy's identifier as used in the paper's figures
+	// (e.g. "greedy", "static-alloc", "smart-alloc(P=0.75%)").
+	Name() string
+	// Targets computes mm_out for this sampling interval.
+	Targets(ms tmem.MemStats) []tmem.TargetUpdate
+}
+
+// Greedy is the hypervisor default: no targets are ever sent, so every VM
+// keeps the Unlimited target and tmem is first come, first served
+// (paper §II-B: "current implementations of tmem allocate pages on puts in
+// a greedy way").
+type Greedy struct{}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "greedy" }
+
+// Targets implements Policy; it never requests changes.
+func (Greedy) Targets(tmem.MemStats) []tmem.TargetUpdate { return nil }
+
+// StaticAlloc is Algorithm 2: divide total tmem equally across all
+// registered (tmem-capable) VMs. Targets change only when the VM
+// population changes.
+type StaticAlloc struct{}
+
+// Name implements Policy.
+func (StaticAlloc) Name() string { return "static-alloc" }
+
+// Targets implements Policy.
+func (StaticAlloc) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
+	n := ms.VMCount()
+	if n == 0 {
+		return nil
+	}
+	share := ms.TotalTmem / mem.Pages(n)
+	out := make([]tmem.TargetUpdate, 0, n)
+	for _, v := range ms.VMs {
+		out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: share})
+	}
+	return out
+}
+
+// ReconfStatic is Algorithm 3: divide total tmem equally among VMs that are
+// actively using tmem, where "active" means the VM has accumulated at least
+// one failed put (cumul_puts_failed > 0). Initially no VM has any
+// allocation, so a VM's first puts fail and it swaps until the next
+// sampling interval notices it — the ~1 s reaction latency the paper
+// describes as this policy's main drawback.
+type ReconfStatic struct{}
+
+// Name implements Policy.
+func (ReconfStatic) Name() string { return "reconf-static" }
+
+// Targets implements Policy.
+func (ReconfStatic) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
+	n := ms.VMCount()
+	if n == 0 {
+		return nil
+	}
+	active := 0
+	for _, v := range ms.VMs {
+		if v.CumulPutsFailed > 0 {
+			active++
+		}
+	}
+	out := make([]tmem.TargetUpdate, 0, n)
+	if active == 0 {
+		// Initial state: no VM receives any capacity.
+		for _, v := range ms.VMs {
+			out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: 0})
+		}
+		return out
+	}
+	// Algorithm 3 lines 11–15: every VM is assigned the active share
+	// (inactive VMs never put, so the share is only consumed by actives).
+	share := ms.TotalTmem / mem.Pages(active)
+	for _, v := range ms.VMs {
+		out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: share})
+	}
+	return out
+}
+
+// SmartAlloc is Algorithm 4: per-VM demand-driven targets.
+//
+//   - A VM with failed puts in the last interval grows its target by P% of
+//     total tmem (line 11–12).
+//   - A VM whose slack (target − used) exceeds Threshold shrinks its target
+//     to (100−P)% of itself (lines 16–18) — the threshold prevents
+//     premature decrements that would make targets oscillate.
+//   - If Σ targets would exceed total tmem, all targets are rescaled
+//     proportionally (Equation 2, lines 27–33) so over-allocation never
+//     defeats enforcement (Equation 1).
+type SmartAlloc struct {
+	// P is the growth/shrink percentage of Algorithm 4 (the paper sweeps
+	// 0.25–6%).
+	P float64
+	// Threshold is the slack, in pages, a VM may keep before its target is
+	// decremented. The paper leaves the value unspecified; we default to
+	// 2% of total tmem when zero (see DefaultThreshold).
+	Threshold mem.Pages
+}
+
+// DefaultThresholdFraction is the fraction of total tmem used as the slack
+// threshold when SmartAlloc.Threshold is zero.
+const DefaultThresholdFraction = 0.02
+
+// Name implements Policy.
+func (p SmartAlloc) Name() string { return fmt.Sprintf("smart-alloc(P=%g%%)", p.P) }
+
+// Targets implements Policy.
+func (p SmartAlloc) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
+	n := ms.VMCount()
+	if n == 0 {
+		return nil
+	}
+	total := ms.TotalTmem
+	threshold := p.Threshold
+	if threshold <= 0 {
+		threshold = mem.Pages(DefaultThresholdFraction * float64(total))
+	}
+	incr := mem.Pages(p.P * float64(total) / 100.0)
+
+	out := make([]tmem.TargetUpdate, 0, n)
+	var sum mem.Pages
+	for _, v := range ms.VMs {
+		// The hypervisor's default target is Unlimited (greedy); a VM
+		// carrying it has never been managed. Algorithm 4 grows targets
+		// from the current value, and in the paper's system managed
+		// targets start at zero (cf. reconf-static "initially allocating
+		// no tmem capacity"), so P directly controls how fast a VM earns
+		// capacity — the paper's explanation for why P=0.25% is too slow.
+		cur := v.MMTarget
+		if cur > total {
+			cur = 0
+		}
+		var target mem.Pages
+		if v.FailedPuts() > 0 {
+			target = cur + incr // lines 10–12
+		} else if cur-v.TmemUsed > threshold {
+			target = mem.Pages((100 - p.P) / 100.0 * float64(cur)) // lines 16–18
+		} else {
+			target = cur // line 20
+		}
+		out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: target})
+		sum += target
+	}
+	// Equation 2: proportional rescale when over-allocated (lines 27–33).
+	if sum > total {
+		factor := float64(total) / float64(sum)
+		for i := range out {
+			out[i].MMTarget = mem.Pages(factor * float64(out[i].MMTarget))
+		}
+	}
+	return out
+}
+
+// Dedup wraps a policy and suppresses outputs identical to the last batch
+// sent — the paper's send_to_hypervisor "refrains from sending targets to
+// the hypervisor if they do not change since the last modification".
+type Dedup struct {
+	inner Policy
+	last  map[tmem.VMID]mem.Pages
+	// Sent counts batches actually forwarded (diagnostic; lets tests show
+	// static-alloc transmits once while smart-alloc transmits repeatedly).
+	Sent int
+	// Suppressed counts batches dropped as unchanged.
+	Suppressed int
+}
+
+// NewDedup wraps inner with unchanged-output suppression.
+func NewDedup(inner Policy) *Dedup {
+	return &Dedup{inner: inner, last: make(map[tmem.VMID]mem.Pages)}
+}
+
+// Name implements Policy.
+func (d *Dedup) Name() string { return d.inner.Name() }
+
+// Targets implements Policy.
+func (d *Dedup) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
+	out := d.inner.Targets(ms)
+	if out == nil {
+		return nil
+	}
+	changed := len(out) != len(d.last)
+	if !changed {
+		for _, t := range out {
+			if prev, ok := d.last[t.ID]; !ok || prev != t.MMTarget {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		d.Suppressed++
+		return nil
+	}
+	d.last = make(map[tmem.VMID]mem.Pages, len(out))
+	for _, t := range out {
+		d.last[t.ID] = t.MMTarget
+	}
+	d.Sent++
+	return out
+}
+
+// NoTmem is not a target policy but a scenario mode: tmem disabled
+// entirely, every swap goes to disk. It exists in this package so callers
+// can name it uniformly; the node honours it by not attaching tmem pools.
+const NoTmemName = "no-tmem"
+
+// Parse builds a policy from a specification string:
+//
+//	greedy | static-alloc | reconf-static | smart-alloc:P=<pct>[,threshold=<pages>]
+//
+// It is used by the command-line tools and the benchmark harness.
+func Parse(spec string) (Policy, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	switch name {
+	case "greedy":
+		return Greedy{}, nil
+	case "static-alloc", "static":
+		return StaticAlloc{}, nil
+	case "reconf-static", "reconf":
+		return ReconfStatic{}, nil
+	case "smart-alloc", "smart":
+		p := SmartAlloc{P: 2}
+		if args != "" {
+			for _, kv := range strings.Split(args, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("policy: bad smart-alloc argument %q", kv)
+				}
+				switch k {
+				case "P", "p":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f <= 0 || f > 100 {
+						return nil, fmt.Errorf("policy: bad P value %q", v)
+					}
+					p.P = f
+				case "threshold":
+					t, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || t < 0 {
+						return nil, fmt.Errorf("policy: bad threshold %q", v)
+					}
+					p.Threshold = mem.Pages(t)
+				default:
+					return nil, fmt.Errorf("policy: unknown smart-alloc argument %q", k)
+				}
+			}
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("policy: unknown policy %q", name)
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = Greedy{}
+	_ Policy = StaticAlloc{}
+	_ Policy = ReconfStatic{}
+	_ Policy = SmartAlloc{}
+	_ Policy = (*Dedup)(nil)
+)

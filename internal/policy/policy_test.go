@@ -1,0 +1,329 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+func stats(total, free mem.Pages, vms ...tmem.VMStat) tmem.MemStats {
+	return tmem.MemStats{TotalTmem: total, FreeTmem: free, VMs: vms}
+}
+
+func targetOf(out []tmem.TargetUpdate, id tmem.VMID) (mem.Pages, bool) {
+	for _, t := range out {
+		if t.ID == id {
+			return t.MMTarget, true
+		}
+	}
+	return 0, false
+}
+
+func TestGreedyNeverSendsTargets(t *testing.T) {
+	g := Greedy{}
+	if g.Name() != "greedy" {
+		t.Errorf("name = %q", g.Name())
+	}
+	ms := stats(1000, 0,
+		tmem.VMStat{ID: 1, PutsTotal: 100, PutsSucc: 0, TmemUsed: 500},
+		tmem.VMStat{ID: 2, PutsTotal: 100, PutsSucc: 100, TmemUsed: 500},
+	)
+	if out := g.Targets(ms); out != nil {
+		t.Errorf("greedy produced targets: %v", out)
+	}
+}
+
+// Algorithm 2: equal split across all registered VMs.
+func TestStaticAllocEqualSplit(t *testing.T) {
+	p := StaticAlloc{}
+	ms := stats(3000, 3000,
+		tmem.VMStat{ID: 1}, tmem.VMStat{ID: 2}, tmem.VMStat{ID: 3},
+	)
+	out := p.Targets(ms)
+	if len(out) != 3 {
+		t.Fatalf("targets = %v", out)
+	}
+	for _, vm := range []tmem.VMID{1, 2, 3} {
+		if got, ok := targetOf(out, vm); !ok || got != 1000 {
+			t.Errorf("VM %d target = %d, want 1000", vm, got)
+		}
+	}
+	if p.Targets(stats(3000, 3000)) != nil {
+		t.Error("static-alloc with zero VMs should return nil")
+	}
+}
+
+// static-alloc ignores demand entirely: identical split whatever the stats.
+func TestStaticAllocIgnoresDemand(t *testing.T) {
+	p := StaticAlloc{}
+	busy := stats(1000, 0,
+		tmem.VMStat{ID: 1, PutsTotal: 9999, PutsSucc: 0, TmemUsed: 900},
+		tmem.VMStat{ID: 2},
+	)
+	out := p.Targets(busy)
+	a, _ := targetOf(out, 1)
+	b, _ := targetOf(out, 2)
+	if a != b || a != 500 {
+		t.Errorf("targets = %d, %d; want equal 500", a, b)
+	}
+}
+
+// Algorithm 3: initially no VM gets capacity; the first failed put makes a
+// VM active and the split covers actives only.
+func TestReconfStaticActivation(t *testing.T) {
+	p := ReconfStatic{}
+	// No failed puts anywhere: all targets zero.
+	out := p.Targets(stats(1200, 1200,
+		tmem.VMStat{ID: 1}, tmem.VMStat{ID: 2}, tmem.VMStat{ID: 3}))
+	for _, vm := range []tmem.VMID{1, 2, 3} {
+		if got, _ := targetOf(out, vm); got != 0 {
+			t.Errorf("initial VM %d target = %d, want 0", vm, got)
+		}
+	}
+	// One active VM: it gets everything.
+	out = p.Targets(stats(1200, 1200,
+		tmem.VMStat{ID: 1, CumulPutsFailed: 5},
+		tmem.VMStat{ID: 2}, tmem.VMStat{ID: 3}))
+	if got, _ := targetOf(out, 1); got != 1200 {
+		t.Errorf("single active target = %d, want 1200", got)
+	}
+	// Two actives: split in half. Activity is sticky (cumulative counter).
+	out = p.Targets(stats(1200, 0,
+		tmem.VMStat{ID: 1, CumulPutsFailed: 5},
+		tmem.VMStat{ID: 2, CumulPutsFailed: 1},
+		tmem.VMStat{ID: 3}))
+	for _, vm := range []tmem.VMID{1, 2} {
+		if got, _ := targetOf(out, vm); got != 600 {
+			t.Errorf("active VM %d target = %d, want 600", vm, got)
+		}
+	}
+	if p.Targets(stats(100, 100)) != nil {
+		t.Error("reconf-static with zero VMs should return nil")
+	}
+}
+
+// Algorithm 4 lines 10–12: failed puts grow the target by P% of total.
+func TestSmartAllocGrowsOnFailedPuts(t *testing.T) {
+	p := SmartAlloc{P: 2}
+	ms := stats(10000, 5000,
+		tmem.VMStat{ID: 1, PutsTotal: 50, PutsSucc: 20, TmemUsed: 1000, MMTarget: 1000},
+		tmem.VMStat{ID: 2, PutsTotal: 10, PutsSucc: 10, TmemUsed: 900, MMTarget: 1000},
+	)
+	out := p.Targets(ms)
+	// VM1 failed 30 puts: target 1000 + 2%*10000 = 1200.
+	if got, _ := targetOf(out, 1); got != 1200 {
+		t.Errorf("VM1 target = %d, want 1200", got)
+	}
+	// VM2: slack 100 <= threshold (2% of 10000 = 200): unchanged.
+	if got, _ := targetOf(out, 2); got != 1000 {
+		t.Errorf("VM2 target = %d, want 1000 (within threshold)", got)
+	}
+}
+
+// Algorithm 4 lines 16–18: idle VMs with slack beyond the threshold shrink
+// by P%.
+func TestSmartAllocShrinksIdleVMs(t *testing.T) {
+	p := SmartAlloc{P: 10, Threshold: 50}
+	ms := stats(10000, 9000,
+		tmem.VMStat{ID: 1, TmemUsed: 100, MMTarget: 1000}, // slack 900 > 50
+	)
+	out := p.Targets(ms)
+	if got, _ := targetOf(out, 1); got != 900 {
+		t.Errorf("target = %d, want 900 (=90%% of 1000)", got)
+	}
+}
+
+// Equation 2: over-allocation rescales proportionally so Σtargets ≤ total.
+func TestSmartAllocRescalesOverAllocation(t *testing.T) {
+	p := SmartAlloc{P: 50, Threshold: 1}
+	ms := stats(1000, 0,
+		tmem.VMStat{ID: 1, PutsTotal: 10, PutsSucc: 0, TmemUsed: 600, MMTarget: 600},
+		tmem.VMStat{ID: 2, PutsTotal: 10, PutsSucc: 0, TmemUsed: 400, MMTarget: 400},
+	)
+	out := p.Targets(ms)
+	// Raw: 600+500=1100, 400+500=900, sum 2000 > 1000 → factor 0.5.
+	a, _ := targetOf(out, 1)
+	b, _ := targetOf(out, 2)
+	if a != 550 || b != 450 {
+		t.Errorf("targets = %d, %d; want 550, 450", a, b)
+	}
+	if a+b > 1000 {
+		t.Errorf("sum %d exceeds total", a+b)
+	}
+}
+
+// The Unlimited sentinel (greedy default) must not break smart-alloc
+// math: an unmanaged VM starts from a zero entitlement and earns capacity
+// at P% of total per interval when it has failed puts.
+func TestSmartAllocHandlesUnlimitedTarget(t *testing.T) {
+	p := SmartAlloc{P: 4}
+	ms := stats(1000, 1000,
+		tmem.VMStat{ID: 1, MMTarget: tmem.Unlimited, TmemUsed: 0, PutsTotal: 10, PutsSucc: 2},
+		tmem.VMStat{ID: 2, MMTarget: tmem.Unlimited, TmemUsed: 0},
+	)
+	out := p.Targets(ms)
+	// VM1 had failed puts: it earns P% of total = 40 pages from zero.
+	if got, _ := targetOf(out, 1); got != 40 {
+		t.Errorf("failing VM target = %d, want 40", got)
+	}
+	// VM2 is idle: zero entitlement stays zero.
+	if got, _ := targetOf(out, 2); got != 0 {
+		t.Errorf("idle VM target = %d, want 0", got)
+	}
+	var sum mem.Pages
+	for _, u := range out {
+		if u.MMTarget < 0 || u.MMTarget > 1000 {
+			t.Errorf("target out of range: %d", u.MMTarget)
+		}
+		sum += u.MMTarget
+	}
+	if sum > 1000 {
+		t.Errorf("sum = %d > total", sum)
+	}
+}
+
+// Property (Equation 1/2 invariant): for arbitrary stats, smart-alloc never
+// over-allocates and never emits a negative target.
+func TestSmartAllocNeverOverAllocatesProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		rng := newTestRNG(seed)
+		n := int(nRaw%8) + 1
+		total := mem.Pages(rng.next()%1000000 + 1)
+		p := SmartAlloc{P: float64(pRaw%20)/2 + 0.25}
+		var vms []tmem.VMStat
+		for i := 0; i < n; i++ {
+			vms = append(vms, tmem.VMStat{
+				ID:        tmem.VMID(i + 1),
+				PutsTotal: rng.next() % 100,
+				PutsSucc:  rng.next() % 100,
+				TmemUsed:  mem.Pages(rng.next() % uint64(total+1)),
+				MMTarget:  mem.Pages(rng.next() % uint64(2*total+1)),
+			})
+		}
+		out := p.Targets(stats(total, 0, vms...))
+		var sum mem.Pages
+		for _, u := range out {
+			if u.MMTarget < 0 {
+				return false
+			}
+			sum += u.MMTarget
+		}
+		return sum <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rescale preserves proportions (Equation 2's fairness guarantee).
+func TestSmartAllocRescalePreservesProportions(t *testing.T) {
+	p := SmartAlloc{P: 100, Threshold: 1}
+	ms := stats(900, 0,
+		tmem.VMStat{ID: 1, PutsTotal: 1, PutsSucc: 0, TmemUsed: 100, MMTarget: 100},
+		tmem.VMStat{ID: 2, PutsTotal: 1, PutsSucc: 0, TmemUsed: 200, MMTarget: 200},
+	)
+	out := p.Targets(ms)
+	a, _ := targetOf(out, 1) // raw 100+900=1000
+	b, _ := targetOf(out, 2) // raw 200+900=1100
+	ratio := float64(b) / float64(a)
+	if math.Abs(ratio-1100.0/1000.0) > 0.01 {
+		t.Errorf("proportion %f, want ~1.1 (targets %d, %d)", ratio, a, b)
+	}
+}
+
+func TestSmartAllocName(t *testing.T) {
+	if n := (SmartAlloc{P: 0.75}).Name(); n != "smart-alloc(P=0.75%)" {
+		t.Errorf("name = %q", n)
+	}
+}
+
+func TestDedupSuppressesUnchanged(t *testing.T) {
+	d := NewDedup(StaticAlloc{})
+	ms := stats(3000, 3000, tmem.VMStat{ID: 1}, tmem.VMStat{ID: 2}, tmem.VMStat{ID: 3})
+	if out := d.Targets(ms); out == nil {
+		t.Fatal("first batch suppressed")
+	}
+	for i := 0; i < 5; i++ {
+		if out := d.Targets(ms); out != nil {
+			t.Fatal("unchanged batch not suppressed")
+		}
+	}
+	if d.Sent != 1 || d.Suppressed != 5 {
+		t.Errorf("sent=%d suppressed=%d, want 1/5", d.Sent, d.Suppressed)
+	}
+	// A new VM appears: targets change, batch goes through.
+	ms4 := stats(3000, 3000, tmem.VMStat{ID: 1}, tmem.VMStat{ID: 2},
+		tmem.VMStat{ID: 3}, tmem.VMStat{ID: 4})
+	if out := d.Targets(ms4); out == nil {
+		t.Error("changed batch suppressed")
+	}
+	if d.Name() != "static-alloc" {
+		t.Errorf("dedup name = %q", d.Name())
+	}
+}
+
+func TestDedupPassesNilThrough(t *testing.T) {
+	d := NewDedup(Greedy{})
+	if d.Targets(stats(10, 10, tmem.VMStat{ID: 1})) != nil {
+		t.Error("greedy through dedup produced targets")
+	}
+	if d.Sent != 0 {
+		t.Error("nil output counted as sent")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"greedy", "greedy"},
+		{"static-alloc", "static-alloc"},
+		{"static", "static-alloc"},
+		{"reconf-static", "reconf-static"},
+		{"reconf", "reconf-static"},
+		{"smart-alloc:P=0.75", "smart-alloc(P=0.75%)"},
+		{"smart:p=6", "smart-alloc(P=6%)"},
+		{"smart-alloc:P=4,threshold=100", "smart-alloc(P=4%)"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, p.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{
+		"", "unknown", "smart-alloc:P=0", "smart-alloc:P=200",
+		"smart-alloc:P=x", "smart-alloc:threshold=-1", "smart-alloc:bogus=1",
+		"smart-alloc:P",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) did not fail", bad)
+		}
+	}
+	// Parsed threshold is honoured.
+	p, _ := Parse("smart-alloc:P=10,threshold=50")
+	sa := p.(SmartAlloc)
+	if sa.Threshold != 50 || sa.P != 10 {
+		t.Errorf("parsed smart-alloc = %+v", sa)
+	}
+}
+
+// tiny deterministic RNG for property tests (quick gives us seeds).
+type testRNG struct{ x uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{x: seed | 1} }
+
+func (r *testRNG) next() uint64 {
+	r.x ^= r.x << 13
+	r.x ^= r.x >> 7
+	r.x ^= r.x << 17
+	return r.x
+}

@@ -1,0 +1,188 @@
+// Package report renders experiment results as fixed-width text tables and
+// ASCII time-series charts — the textual equivalents of the paper's bar
+// charts (running times) and capacity-over-time plots.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"smartmem/internal/metrics"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (padded/truncated to the header count).
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatSummary renders a metrics.Summary as "mean±std".
+func FormatSummary(s metrics.Summary) string {
+	if s.N == 0 {
+		return "-"
+	}
+	if s.N == 1 {
+		return fmt.Sprintf("%.1f", s.Mean)
+	}
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Std)
+}
+
+// Chart renders a metrics.Set as an ASCII chart: time on the x axis,
+// values scaled to height rows, one symbol per series.
+type Chart struct {
+	Title  string
+	Width  int // columns (default 72)
+	Height int // rows (default 16)
+	// YLabel names the value axis (e.g. "pages").
+	YLabel string
+}
+
+// Render draws the selected series of set.
+func (c Chart) Render(w io.Writer, set *metrics.Set, names []string) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(names) == 0 {
+		names = set.Names()
+	}
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Bounds.
+	var tMax, vMax float64
+	for _, n := range names {
+		if !set.Has(n) {
+			return fmt.Errorf("report: unknown series %q", n)
+		}
+		s := set.Get(n)
+		if s.Len() > 0 {
+			if last := s.Last().T; last > tMax {
+				tMax = last
+			}
+		}
+		if m := s.Max(); m > vMax {
+			vMax = m
+		}
+	}
+	if tMax == 0 || vMax == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, n := range names {
+		s := set.Get(n)
+		sym := symbols[si%len(symbols)]
+		for col := 0; col < width; col++ {
+			t := tMax * float64(col) / float64(width-1)
+			v := s.ValueAt(t)
+			row := int((1 - v/vMax) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = sym
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	ylab := c.YLabel
+	if ylab == "" {
+		ylab = "value"
+	}
+	if _, err := fmt.Fprintf(w, "%8.0f +%s\n", vMax, strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "%8s |%s\n", "", string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8.0f +%s\n", 0.0, strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  0s%s%.0fs\n", ylab, strings.Repeat(" ", width-12), tMax); err != nil {
+		return err
+	}
+	var legend []string
+	for si, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[si%len(symbols)], n))
+	}
+	sort.Strings(legend)
+	_, err := fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, "  "))
+	return err
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"smartmem/internal/metrics"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Figure X",
+		Headers: []string{"vm", "greedy", "smart"},
+	}
+	tb.AddRow("VM1", "100.0±1.0", "90.0±0.5")
+	tb.AddRow("VM2", "200.0±2.0") // short row padded
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure X", "vm", "greedy", "VM1", "90.0±0.5", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	if got := FormatSummary(metrics.Summary{}); got != "-" {
+		t.Errorf("empty = %q", got)
+	}
+	if got := FormatSummary(metrics.Summarize([]float64{5})); got != "5.0" {
+		t.Errorf("singleton = %q", got)
+	}
+	if got := FormatSummary(metrics.Summarize([]float64{10, 14})); got != "12.0±2.8" {
+		t.Errorf("pair = %q", got)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	set := metrics.NewSet()
+	a := set.Get("tmem-VM1")
+	b := set.Get("tmem-VM2")
+	for i := 0; i <= 100; i++ {
+		a.Add(float64(i), float64(i*10))
+		b.Add(float64(i), float64(1000-i*10))
+	}
+	var sb strings.Builder
+	c := Chart{Title: "Figure Y", Width: 40, Height: 8, YLabel: "pages"}
+	if err := c.Render(&sb, set, []string{"tmem-VM1", "tmem-VM2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure Y", "legend:", "tmem-VM1", "pages", "1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both symbols must appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart symbols missing:\n%s", out)
+	}
+}
+
+func TestChartUnknownSeries(t *testing.T) {
+	set := metrics.NewSet()
+	var sb strings.Builder
+	if err := (Chart{}).Render(&sb, set, []string{"nope"}); err == nil {
+		t.Error("unknown series not rejected")
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	set := metrics.NewSet()
+	set.Get("x")
+	var sb strings.Builder
+	if err := (Chart{}).Render(&sb, set, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty chart output: %q", sb.String())
+	}
+}

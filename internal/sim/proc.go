@@ -1,0 +1,153 @@
+package sim
+
+import "fmt"
+
+// errProcKilled is the sentinel panic value used to unwind a killed
+// process's goroutine. Process bodies must not recover it.
+var errProcKilled = fmt.Errorf("sim: process killed")
+
+// Proc is a simulated process: a goroutine that runs in strict alternation
+// with the kernel. All Proc methods must be called from the process's own
+// body function, except Kill and Done which may be called from the kernel
+// context (events/callbacks).
+type Proc struct {
+	k         *Kernel
+	id        int
+	name      string
+	wake      chan Time
+	done      chan struct{}
+	finished  bool
+	cancelled bool
+
+	// cond this proc is currently waiting on, if any (for Kill bookkeeping).
+	waiting *Cond
+}
+
+// ID returns the process identifier (unique within a kernel, starts at 1).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done returns a channel closed when the process body has returned.
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Finished reports whether the process body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// park hands control back to the kernel and blocks until re-dispatched.
+// Returns the dispatch time. Panics with errProcKilled if cancelled.
+func (p *Proc) park() Time {
+	p.k.yield <- p
+	t, ok := <-p.wake
+	if !ok || p.cancelled {
+		panic(errProcKilled)
+	}
+	return t
+}
+
+// Sleep advances this process's local view of time by d, yielding to the
+// kernel so other processes and timers can run in between. d <= 0 yields
+// without advancing the clock (still a scheduling point).
+func (p *Proc) Sleep(d Duration) {
+	if p.cancelled {
+		panic(errProcKilled)
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(&event{at: p.k.now + Time(d), proc: p})
+	p.park()
+}
+
+// SleepUntil sleeps until absolute virtual time t (no-op if t <= now).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		p.Sleep(0)
+		return
+	}
+	p.Sleep(Duration(t - p.k.now))
+}
+
+// Kill cancels the process. If it is parked it unwinds on next dispatch;
+// a running process cannot Kill itself (use return instead).
+func (p *Proc) Kill() {
+	if p.finished || p.cancelled {
+		return
+	}
+	p.cancelled = true
+	if p.waiting != nil {
+		p.waiting.remove(p)
+		p.waiting = nil
+	}
+	// Schedule an immediate wake; the next Step dispatches the goroutine,
+	// which observes cancellation in park() and unwinds.
+	p.k.schedule(&event{at: p.k.now, proc: p})
+}
+
+// Cond is a simple FIFO condition variable for processes. Waiters park
+// until another process or a kernel callback calls Signal or Broadcast.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks the calling process until signalled.
+func (c *Cond) Wait(p *Proc) {
+	if p.cancelled {
+		panic(errProcKilled)
+	}
+	c.waiters = append(c.waiters, p)
+	p.waiting = c
+	p.park()
+	p.waiting = nil
+}
+
+// Signal wakes the longest-waiting process, if any. Safe to call from
+// kernel callbacks or other processes.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		p := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if p.finished || p.cancelled {
+			continue
+		}
+		p.waiting = nil
+		c.k.schedule(&event{at: c.k.now, proc: p})
+		return
+	}
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		if p.finished || p.cancelled {
+			continue
+		}
+		p.waiting = nil
+		c.k.schedule(&event{at: c.k.now, proc: p})
+	}
+}
+
+// Waiters returns the number of parked processes.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

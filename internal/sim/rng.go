@@ -1,0 +1,112 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** by Blackman & Vigna). The simulator cannot use math/rand's
+// global state because experiment reproducibility requires every stream to
+// be derived from the run seed, and independent components must not perturb
+// each other's sequences — hence Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 is used to seed and split generators, per the xoshiro authors'
+// recommendation.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent generator from this one, advancing this
+// generator by one step. Use one stream per simulated component.
+func (r *RNG) Split() *RNG {
+	x := r.Uint64()
+	return NewRNG(x)
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n)) // modulo bias negligible for n << 2^64
+}
+
+// Int63n returns a uniform int64 in [0, n). Panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: RNG.Int63n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// Jitter returns d scaled by a factor uniform in [1-frac, 1+frac], used to
+// model natural variation in service times. frac is clamped to [0, 1).
+func (r *RNG) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	if frac >= 1 {
+		frac = 0.999
+	}
+	f := 1 - frac + 2*frac*r.Float64()
+	return Duration(float64(d) * f)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,304 @@
+// Package sim implements a small deterministic discrete-event simulation
+// kernel used as the execution substrate for the SmarTmem node model.
+//
+// The kernel follows the classic process-interaction style: each simulated
+// activity (a virtual machine's vCPU, the memory-manager tick loop, a
+// workload driver) runs as its own goroutine wrapped in a Proc. At any
+// instant exactly one process is runnable; everything else is parked either
+// on the event queue (waiting for virtual time to advance) or on a
+// condition (waiting to be signalled). This makes runs fully deterministic
+// for a given seed and program, which the experiment harness relies on to
+// keep paper-figure reproductions stable.
+//
+// Virtual time is an int64 nanosecond count starting at zero. Ties in the
+// event queue are broken by a monotonically increasing sequence number so
+// that scheduling order never depends on heap internals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration so the usual constants (time.Millisecond, ...) convert
+// directly.
+type Duration int64
+
+// Common durations, re-exported so callers do not need both packages.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. Used as a sentinel for
+// "never".
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds converts a virtual time to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts a virtual duration to a time.Duration for printing.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled wake-up of a process or a fire-once callback.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc      // non-nil: wake this parked process
+	fn   func(Time) // non-nil: run this callback inline in the kernel loop
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation instance. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	procs   map[int]*Proc
+	nextPID int
+	running *Proc // process currently executing, nil while in kernel loop
+	ended   bool
+	limit   Time // hard stop; MaxTime when unset
+	rng     *RNG
+
+	// yield channel: a running process sends itself back to the kernel
+	// when it parks. The kernel blocks on this after waking a process.
+	yield chan *Proc
+
+	panicVal interface{} // re-raised on Run if a process panicked
+}
+
+// NewKernel creates a simulation kernel with the given RNG seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{
+		procs: make(map[int]*Proc),
+		limit: MaxTime,
+		rng:   NewRNG(seed),
+		yield: make(chan *Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random number generator.
+// Processes must derive their own streams via RNG.Split for independence.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// SetLimit sets a hard virtual-time stop. When the clock would pass limit,
+// Run returns. A zero or negative limit is ignored.
+func (k *Kernel) SetLimit(limit Time) {
+	if limit > 0 {
+		k.limit = limit
+	}
+}
+
+// schedule inserts an event at absolute virtual time at.
+func (k *Kernel) schedule(e *event) {
+	if e.at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%d now=%d", e.at, k.now))
+	}
+	k.seq++
+	e.seq = k.seq
+	heap.Push(&k.queue, e)
+}
+
+// After schedules fn to run at now+d inside the kernel loop (no process
+// context). fn receives the firing time.
+func (k *Kernel) After(d Duration, fn func(Time)) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(&event{at: k.now + Time(d), fn: fn})
+}
+
+// At schedules fn at an absolute virtual time (clamped to now).
+func (k *Kernel) At(t Time, fn func(Time)) {
+	if t < k.now {
+		t = k.now
+	}
+	k.schedule(&event{at: t, fn: fn})
+}
+
+// Spawn creates a new process running body and schedules it to start at the
+// current virtual time (after d if given via SpawnAt). The body runs on its
+// own goroutine but in strict alternation with the kernel.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	return k.SpawnAt(name, 0, body)
+}
+
+// SpawnAt creates a process whose body begins executing after delay d.
+func (k *Kernel) SpawnAt(name string, d Duration, body func(p *Proc)) *Proc {
+	k.nextPID++
+	p := &Proc{
+		k:    k,
+		id:   k.nextPID,
+		name: name,
+		wake: make(chan Time),
+		done: make(chan struct{}),
+	}
+	k.procs[p.id] = p
+	go func() {
+		t, ok := <-p.wake // wait for first dispatch
+		if !ok {
+			close(p.done)
+			return
+		}
+		_ = t
+		defer func() {
+			if r := recover(); r != nil {
+				if r != errProcKilled {
+					p.k.panicVal = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.finished = true
+			close(p.done)
+			k.yield <- p // return control to kernel one last time
+		}()
+		body(p)
+	}()
+	k.schedule(&event{at: k.now + Time(d), proc: p})
+	return p
+}
+
+// dispatch wakes p at time t and blocks until p parks or finishes.
+func (k *Kernel) dispatch(p *Proc, t Time) {
+	if p.finished {
+		return
+	}
+	k.running = p
+	p.wake <- t
+	<-k.yield
+	k.running = nil
+	if k.panicVal != nil {
+		panic(k.panicVal)
+	}
+}
+
+// Step executes the single earliest pending event. It reports false when
+// the queue is empty or the time limit has been reached.
+func (k *Kernel) Step() bool {
+	for {
+		if len(k.queue) == 0 {
+			return false
+		}
+		e := heap.Pop(&k.queue).(*event)
+		if e.at > k.limit {
+			k.now = k.limit
+			k.ended = true
+			return false
+		}
+		k.now = e.at
+		if e.proc != nil {
+			if e.proc.finished {
+				continue // stale wake-up for a dead process
+			}
+			// Cancelled processes are dispatched once more so their
+			// goroutines observe the cancellation and unwind.
+			k.dispatch(e.proc, e.at)
+			return true
+		}
+		if e.fn != nil {
+			e.fn(e.at)
+			return true
+		}
+	}
+}
+
+// Run executes events until the queue drains, the limit is hit, or every
+// process has finished. It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	for k.Step() {
+	}
+	return k.now
+}
+
+// RunUntil executes events until virtual time t (inclusive of events at t).
+func (k *Kernel) RunUntil(t Time) Time {
+	for len(k.queue) > 0 && k.queue[0].at <= t && k.Step() {
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Ended reports whether the simulation stopped because of the time limit.
+func (k *Kernel) Ended() bool { return k.ended }
+
+// Pending returns the number of queued events (for tests/diagnostics).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Procs returns the names of all live (unfinished) processes, sorted, for
+// diagnostics.
+func (k *Kernel) Procs() []string {
+	var names []string
+	for _, p := range k.procs {
+		if !p.finished {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KillAll cancels every live process. Each parked process is woken once to
+// unwind via panic(errProcKilled); processes must not recover() that value.
+func (k *Kernel) KillAll() {
+	ids := make([]int, 0, len(k.procs))
+	for id := range k.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	live := 0
+	for _, id := range ids {
+		p := k.procs[id]
+		if !p.finished {
+			p.Kill()
+			live++
+		}
+	}
+	// Drain the unwind dispatches so goroutines exit before we return.
+	for live > 0 && k.Step() {
+		live = 0
+		for _, p := range k.procs {
+			if !p.finished {
+				live++
+			}
+		}
+	}
+}

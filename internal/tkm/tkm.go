@@ -1,0 +1,99 @@
+// Package tkm implements the Tmem Kernel Module of the SmarTmem
+// architecture (paper §III-C): the bridge between the hypervisor's tmem
+// statistics and the user-space Memory Manager (MM).
+//
+// In the paper the hypervisor raises a VIRQ once per second; the TKM reads
+// the statistics, forwards them to the MM over a netlink socket, and
+// relays the MM's computed targets back to the hypervisor through custom
+// hypercalls. Here the same three-step exchange is factored behind the MM
+// interface, with two implementations:
+//
+//   - LocalMM: the policy runs in-process (the simulator's deterministic
+//     path — the "wire" is a function call).
+//   - RemoteMM: the policy runs in another process reached over a real
+//     net.Conn with a length-prefixed binary protocol (see wire.go), the
+//     moral equivalent of the paper's netlink socket.
+package tkm
+
+import (
+	"fmt"
+
+	"smartmem/internal/tmem"
+)
+
+// TKM is the kernel-module bridge. One TKM exists per node, in the
+// privileged domain (paper Figure 2).
+type TKM struct {
+	backend *tmem.Backend
+	mm      MM
+	seq     uint64
+
+	// TicksRun counts VIRQ cycles processed.
+	TicksRun uint64
+	// BatchesApplied counts target batches actually installed.
+	BatchesApplied uint64
+	// Errors counts failed MM exchanges.
+	Errors uint64
+}
+
+// MM is the user-space Memory Manager as seen from the TKM: it consumes
+// one statistics sample and returns the policy's target batch (nil when
+// the policy has nothing to send — the paper's send_to_hypervisor
+// suppression).
+type MM interface {
+	Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error)
+}
+
+// New creates a TKM bound to a hypervisor backend and an MM.
+func New(backend *tmem.Backend, mm MM) *TKM {
+	if backend == nil {
+		panic("tkm: nil backend")
+	}
+	if mm == nil {
+		panic("tkm: nil MM")
+	}
+	return &TKM{backend: backend, mm: mm}
+}
+
+// Tick performs one full VIRQ cycle: sample statistics, deliver them to
+// the MM, apply any returned targets. It returns the sample and targets
+// for observability (the node's monitor records both).
+func (t *TKM) Tick() (tmem.MemStats, []tmem.TargetUpdate, error) {
+	t.seq++
+	t.TicksRun++
+	ms := t.backend.Sample(t.seq)
+	targets, err := t.mm.Handle(ms)
+	if err != nil {
+		t.Errors++
+		return ms, nil, fmt.Errorf("tkm: MM exchange failed: %w", err)
+	}
+	if len(targets) > 0 {
+		t.backend.ApplyTargets(targets)
+		t.BatchesApplied++
+	}
+	return ms, targets, nil
+}
+
+// PolicyFunc is the subset of policy.Policy the TKM needs; declared here
+// to avoid a dependency cycle with the policy package's tests.
+type PolicyFunc interface {
+	Targets(tmem.MemStats) []tmem.TargetUpdate
+}
+
+// LocalMM adapts an in-process policy to the MM interface.
+type LocalMM struct {
+	policy PolicyFunc
+}
+
+// NewLocalMM wraps a policy value (e.g. *policy.Dedup).
+func NewLocalMM(p PolicyFunc) *LocalMM {
+	if p == nil {
+		panic("tkm: nil policy")
+	}
+	return &LocalMM{policy: p}
+}
+
+// Handle implements MM.
+func (l *LocalMM) Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error) {
+	return l.policy.Targets(ms), nil
+}

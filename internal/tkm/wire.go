@@ -1,0 +1,191 @@
+package tkm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"smartmem/internal/tmem"
+)
+
+// Wire protocol: each message is framed as
+//
+//	[1 byte type][4 byte big-endian payload length][payload]
+//
+// with two message types: statistics flowing TKM→MM and target batches
+// flowing MM→TKM. The exchange is strictly request/response at a 1 Hz
+// cadence, mirroring the paper's VIRQ-driven netlink traffic. An MM with
+// nothing to send answers with an empty target batch.
+const (
+	// MsgStats carries a tmem.MemStats sample (TKM → MM).
+	MsgStats byte = 1
+	// MsgTargets carries a []tmem.TargetUpdate batch (MM → TKM).
+	MsgTargets byte = 2
+)
+
+// MaxFrameSize bounds a frame payload; larger announcements indicate a
+// corrupt or hostile peer.
+const MaxFrameSize = 1 << 20
+
+// Conn wraps a net.Conn with the framing protocol. It is safe for one
+// reader and one writer; the request/response discipline means callers
+// never need more.
+type Conn struct {
+	c   net.Conn
+	buf []byte
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	if c == nil {
+		panic("tkm: nil conn")
+	}
+	return &Conn{c: c}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func (c *Conn) writeFrame(typ byte, payload []byte) error {
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tkm: write frame header: %w", err)
+	}
+	if _, err := c.c.Write(payload); err != nil {
+		return fmt.Errorf("tkm: write frame payload: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("tkm: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("tkm: frame of %d bytes exceeds limit %d", n, MaxFrameSize)
+	}
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	buf := c.buf[:n]
+	if _, err := io.ReadFull(c.c, buf); err != nil {
+		return 0, nil, fmt.Errorf("tkm: read frame payload: %w", err)
+	}
+	return hdr[0], buf, nil
+}
+
+// WriteStats sends a statistics sample (TKM side).
+func (c *Conn) WriteStats(ms tmem.MemStats) error {
+	return c.writeFrame(MsgStats, ms.AppendWire(nil))
+}
+
+// ReadStats receives a statistics sample (MM side).
+func (c *Conn) ReadStats() (tmem.MemStats, error) {
+	typ, payload, err := c.readFrame()
+	if err != nil {
+		return tmem.MemStats{}, err
+	}
+	if typ != MsgStats {
+		return tmem.MemStats{}, fmt.Errorf("tkm: expected stats frame, got type %d", typ)
+	}
+	ms, _, err := tmem.MemStatsFromWire(payload)
+	return ms, err
+}
+
+// WriteTargets sends a target batch (MM side). An empty batch means "no
+// change".
+func (c *Conn) WriteTargets(ts []tmem.TargetUpdate) error {
+	return c.writeFrame(MsgTargets, tmem.AppendTargetsWire(nil, ts))
+}
+
+// ReadTargets receives a target batch (TKM side).
+func (c *Conn) ReadTargets() ([]tmem.TargetUpdate, error) {
+	typ, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgTargets {
+		return nil, fmt.Errorf("tkm: expected targets frame, got type %d", typ)
+	}
+	ts, _, err := tmem.TargetsFromWire(payload)
+	return ts, err
+}
+
+// RemoteMM reaches a Memory Manager process over a framed connection.
+type RemoteMM struct {
+	conn *Conn
+}
+
+// NewRemoteMM wraps an established connection to an MM daemon.
+func NewRemoteMM(c net.Conn) *RemoteMM {
+	return &RemoteMM{conn: NewConn(c)}
+}
+
+// Handle implements MM: one synchronous stats→targets round trip.
+func (r *RemoteMM) Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error) {
+	if err := r.conn.WriteStats(ms); err != nil {
+		return nil, err
+	}
+	return r.conn.ReadTargets()
+}
+
+// Close closes the underlying connection.
+func (r *RemoteMM) Close() error { return r.conn.Close() }
+
+// ServeMM runs the MM side of the protocol on an established connection:
+// for every statistics sample it invokes the policy and answers with the
+// (possibly empty) target batch. It returns when the peer disconnects or
+// a protocol error occurs; io.EOF is reported as nil (clean shutdown).
+func ServeMM(c net.Conn, p PolicyFunc) error {
+	conn := NewConn(c)
+	defer conn.Close()
+	for {
+		ms, err := conn.ReadStats()
+		if err != nil {
+			if isClosed(err) {
+				return nil
+			}
+			return err
+		}
+		if err := conn.WriteTargets(p.Targets(ms)); err != nil {
+			return err
+		}
+	}
+}
+
+// ListenAndServeMM accepts connections on l, serving each with its own
+// policy instance produced by newPolicy (policies can be stateful, so each
+// TKM connection gets a fresh one). It returns on listener errors.
+func ListenAndServeMM(l net.Listener, newPolicy func() PolicyFunc) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() { _ = ServeMM(c, newPolicy()) }()
+	}
+}
+
+func isClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	for e := err; e != nil; e = unwrap(e) {
+		if e == io.EOF || e == io.ErrUnexpectedEOF || e == net.ErrClosed {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}

@@ -1,0 +1,523 @@
+package tmem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"smartmem/internal/mem"
+)
+
+// Unlimited is the mm_target value meaning "no enforcement": the default
+// greedy behaviour where a VM may consume every free tmem page.
+const Unlimited = mem.Pages(math.MaxInt64)
+
+// entry is one stored tmem page.
+type entry struct {
+	key    Key
+	vm     VMID
+	frame  mem.FrameNo
+	handle Handle
+	// Ephemeral entries are linked into the backend-wide eviction LRU.
+	prev, next *entry
+}
+
+// Pool is one guest-created tmem pool.
+type Pool struct {
+	id      PoolID
+	vm      VMID
+	kind    PoolKind
+	objects map[ObjectID]map[PageIndex]*entry
+	pages   mem.Pages
+}
+
+// ID returns the pool identifier.
+func (p *Pool) ID() PoolID { return p.id }
+
+// VM returns the owning VM.
+func (p *Pool) VM() VMID { return p.vm }
+
+// Kind returns the pool kind.
+func (p *Pool) Kind() PoolKind { return p.kind }
+
+// Pages returns the number of pages currently stored in the pool.
+func (p *Pool) Pages() mem.Pages { return p.pages }
+
+// vmAccount is the hypervisor's per-VM bookkeeping (Table I,
+// vm_data_hyp[id].*), plus cumulative diagnostics.
+type vmAccount struct {
+	id       VMID
+	tmemUsed mem.Pages
+	mmTarget mem.Pages
+
+	// Interval counters, reset at each statistics sample (1 s).
+	putsTotal uint64
+	putsSucc  uint64
+
+	// Cumulative counters (never reset). cumulPutsFailed feeds
+	// reconf-static's activity detection (Algorithm 3).
+	cumulPutsTotal  uint64
+	cumulPutsSucc   uint64
+	cumulGetsTotal  uint64
+	cumulGetsHit    uint64
+	cumulFlushes    uint64
+	cumulEphEvicted uint64 // ephemeral pages evicted from this VM
+}
+
+func (a *vmAccount) cumulPutsFailed() uint64 { return a.cumulPutsTotal - a.cumulPutsSucc }
+
+// Backend is the hypervisor tmem implementation: the single fine-grained
+// page allocator plus target enforcement of paper Algorithm 1. All methods
+// are safe for concurrent use.
+type Backend struct {
+	mu       sync.Mutex
+	alloc    *mem.FrameAllocator
+	store    PageStore
+	pools    map[PoolID]*Pool
+	nextPool PoolID
+	vms      map[VMID]*vmAccount
+
+	// Ephemeral eviction LRU: lru.next is the oldest entry.
+	lru entry // sentinel
+
+	pageSize mem.Bytes
+}
+
+// NewBackend creates a tmem backend managing totalPages frames whose page
+// contents are retained in store. The store's page size defines the page
+// size of the node.
+func NewBackend(totalPages mem.Pages, store PageStore) *Backend {
+	b := &Backend{
+		alloc:    mem.NewFrameAllocator(totalPages),
+		store:    store,
+		pools:    make(map[PoolID]*Pool),
+		vms:      make(map[VMID]*vmAccount),
+		pageSize: mem.Bytes(store.PageSize()),
+	}
+	b.lru.prev = &b.lru
+	b.lru.next = &b.lru
+	return b
+}
+
+// PageSize returns the node page size in bytes.
+func (b *Backend) PageSize() mem.Bytes { return b.pageSize }
+
+// TotalPages returns the total tmem capacity in pages (node_info.total_tmem).
+func (b *Backend) TotalPages() mem.Pages { return b.alloc.Total() }
+
+// FreePages returns the number of free tmem pages (node_info.free_tmem).
+func (b *Backend) FreePages() mem.Pages {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.alloc.Free()
+}
+
+// RegisterVM creates the hypervisor-side account for a VM. Registering an
+// already-known VM is a no-op. New VMs start with an Unlimited target
+// (greedy default) — management policies overwrite it on their first tick.
+func (b *Backend) RegisterVM(vm VMID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.registerLocked(vm)
+}
+
+func (b *Backend) registerLocked(vm VMID) *vmAccount {
+	a, ok := b.vms[vm]
+	if !ok {
+		a = &vmAccount{id: vm, mmTarget: Unlimited}
+		b.vms[vm] = a
+	}
+	return a
+}
+
+// UnregisterVM removes a VM and destroys all of its pools (VM shutdown).
+func (b *Backend) UnregisterVM(vm VMID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, p := range b.pools {
+		if p.vm == vm {
+			b.destroyPoolLocked(id)
+		}
+	}
+	delete(b.vms, vm)
+}
+
+// NewPool creates a tmem pool for vm (the guest's kernel-module init path)
+// and returns its identifier.
+func (b *Backend) NewPool(vm VMID, kind PoolKind) PoolID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.registerLocked(vm)
+	id := b.nextPool
+	b.nextPool++
+	b.pools[id] = &Pool{
+		id:      id,
+		vm:      vm,
+		kind:    kind,
+		objects: make(map[ObjectID]map[PageIndex]*entry),
+	}
+	return id
+}
+
+// DestroyPool flushes every page of the pool and removes it.
+func (b *Backend) DestroyPool(id PoolID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.pools[id]; !ok {
+		return fmt.Errorf("tmem: destroy of unknown pool %d", id)
+	}
+	b.destroyPoolLocked(id)
+	return nil
+}
+
+func (b *Backend) destroyPoolLocked(id PoolID) {
+	p := b.pools[id]
+	for _, obj := range p.objects {
+		for _, e := range obj {
+			b.dropEntryLocked(p, e)
+		}
+	}
+	delete(b.pools, id)
+}
+
+// lruPush appends e as most-recently-used.
+func (b *Backend) lruPush(e *entry) {
+	e.prev = b.lru.prev
+	e.next = &b.lru
+	b.lru.prev.next = e
+	b.lru.prev = e
+}
+
+func (b *Backend) lruRemove(e *entry) {
+	if e.prev == nil {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// dropEntryLocked releases the frame and stored bytes of e and fixes all
+// counters. The entry must still be present in pool p's object map when the
+// caller removes it; this helper only touches global structures.
+func (b *Backend) dropEntryLocked(p *Pool, e *entry) {
+	b.lruRemove(e)
+	if err := b.alloc.Release(e.frame); err != nil {
+		panic(fmt.Sprintf("tmem: frame accounting broken: %v", err))
+	}
+	if err := b.store.Drop(e.handle); err != nil {
+		panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
+	}
+	p.pages--
+	if a := b.vms[e.vm]; a != nil {
+		a.tmemUsed--
+	}
+}
+
+// evictEphemeralLocked drops the oldest ephemeral page to free one frame.
+// Returns false when no ephemeral page exists.
+func (b *Backend) evictEphemeralLocked() bool {
+	e := b.lru.next
+	if e == &b.lru {
+		return false
+	}
+	p := b.pools[e.key.Pool]
+	delete(p.objects[e.key.Object], e.key.Index)
+	if len(p.objects[e.key.Object]) == 0 {
+		delete(p.objects, e.key.Object)
+	}
+	b.dropEntryLocked(p, e)
+	if a := b.vms[e.vm]; a != nil {
+		a.cumulEphEvicted++
+	}
+	return true
+}
+
+// Put stores a page under key on behalf of the pool's VM, implementing
+// paper Algorithm 1's PUT path:
+//
+//	if tmem_used >= mm_target   -> E_TMEM
+//	else if free_tmem == 0      -> E_TMEM (after trying ephemeral eviction)
+//	else allocate, copy, tmem_used++, puts_succ++
+//	puts_total++ in all cases
+//
+// A put over an existing key replaces the page contents in place without
+// consuming a new frame (Xen's "duplicate put" path). data may be nil for a
+// zero page; it is copied before Put returns, so the caller may reuse the
+// buffer — the page-copy–based interface of the paper.
+func (b *Backend) Put(key Key, data []byte) Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	p, ok := b.pools[key.Pool]
+	if !ok {
+		return EInval
+	}
+	a := b.vms[p.vm]
+	a.putsTotal++
+	a.cumulPutsTotal++
+
+	// Duplicate put: replace contents, no capacity change.
+	if obj, ok := p.objects[key.Object]; ok {
+		if e, ok := obj[key.Index]; ok {
+			h, err := b.store.Save(data)
+			if err != nil {
+				return EInval
+			}
+			if err := b.store.Drop(e.handle); err != nil {
+				panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
+			}
+			e.handle = h
+			if p.kind == Ephemeral {
+				b.lruRemove(e)
+				b.lruPush(e)
+			}
+			a.putsSucc++
+			a.cumulPutsSucc++
+			return STmem
+		}
+	}
+
+	// Algorithm 1, line 5: target enforcement.
+	if a.tmemUsed >= a.mmTarget {
+		return ETmem
+	}
+	// Algorithm 1, line 7: capacity check. Ephemeral pages are sacrificed
+	// first, as in Xen, before failing the put.
+	if b.alloc.Free() == 0 {
+		if !b.evictEphemeralLocked() {
+			return ETmem
+		}
+	}
+
+	frame := b.alloc.Alloc()
+	if frame == mem.NoFrame {
+		return ETmem
+	}
+	h, err := b.store.Save(data)
+	if err != nil {
+		if rerr := b.alloc.Release(frame); rerr != nil {
+			panic(fmt.Sprintf("tmem: frame accounting broken: %v", rerr))
+		}
+		return EInval
+	}
+	e := &entry{key: key, vm: p.vm, frame: frame, handle: h}
+	obj, ok := p.objects[key.Object]
+	if !ok {
+		obj = make(map[PageIndex]*entry)
+		p.objects[key.Object] = obj
+	}
+	obj[key.Index] = e
+	p.pages++
+	if p.kind == Ephemeral {
+		b.lruPush(e)
+	}
+	a.tmemUsed++
+	a.putsSucc++
+	a.cumulPutsSucc++
+	return STmem
+}
+
+// Get copies the page stored under key into dst (which may be nil when the
+// caller only cares about presence). Ephemeral hits are always destructive
+// (Xen semantics); persistent hits leave the page in place — the guest
+// issues an explicit FlushPage when it invalidates the swap slot.
+func (b *Backend) Get(key Key, dst []byte) Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	p, ok := b.pools[key.Pool]
+	if !ok {
+		return EInval
+	}
+	a := b.vms[p.vm]
+	a.cumulGetsTotal++
+
+	obj, ok := p.objects[key.Object]
+	if !ok {
+		return ETmem
+	}
+	e, ok := obj[key.Index]
+	if !ok {
+		return ETmem
+	}
+	if dst != nil {
+		if err := b.store.Load(e.handle, dst); err != nil {
+			return EInval
+		}
+	}
+	a.cumulGetsHit++
+	if p.kind == Ephemeral {
+		delete(obj, key.Index)
+		if len(obj) == 0 {
+			delete(p.objects, key.Object)
+		}
+		b.dropEntryLocked(p, e)
+	}
+	return STmem
+}
+
+// Contains reports whether key is currently stored (non-destructive even
+// for ephemeral pools; diagnostic use only).
+func (b *Backend) Contains(key Key) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.pools[key.Pool]
+	if !ok {
+		return false
+	}
+	obj, ok := p.objects[key.Object]
+	if !ok {
+		return false
+	}
+	_, ok = obj[key.Index]
+	return ok
+}
+
+// FlushPage invalidates a single page (paper Algorithm 1 FLUSH path:
+// deallocate, tmem_used--). Flushing an absent page returns ETmem, which
+// guests treat as harmless.
+func (b *Backend) FlushPage(key Key) Status {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	p, ok := b.pools[key.Pool]
+	if !ok {
+		return EInval
+	}
+	obj, ok := p.objects[key.Object]
+	if !ok {
+		return ETmem
+	}
+	e, ok := obj[key.Index]
+	if !ok {
+		return ETmem
+	}
+	delete(obj, key.Index)
+	if len(obj) == 0 {
+		delete(p.objects, key.Object)
+	}
+	b.dropEntryLocked(p, e)
+	b.vms[p.vm].cumulFlushes++
+	return STmem
+}
+
+// FlushObject invalidates every page of an object, returning the number of
+// pages freed.
+func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	p, ok := b.pools[pool]
+	if !ok {
+		return 0, EInval
+	}
+	obj, ok := p.objects[object]
+	if !ok {
+		return 0, ETmem
+	}
+	var n mem.Pages
+	for _, e := range obj {
+		b.dropEntryLocked(p, e)
+		n++
+	}
+	delete(p.objects, object)
+	b.vms[p.vm].cumulFlushes += uint64(n)
+	return n, STmem
+}
+
+// SetTarget installs the MM-computed allocation target for a VM
+// (vm_data_hyp[id].mm_target). The hypervisor stores targets until the MM
+// modifies them (paper §III-B). Unknown VMs are registered implicitly.
+func (b *Backend) SetTarget(vm VMID, target mem.Pages) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if target < 0 {
+		target = 0
+	}
+	b.registerLocked(vm).mmTarget = target
+}
+
+// Target returns the current target of a VM.
+func (b *Backend) Target(vm VMID) mem.Pages {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a, ok := b.vms[vm]; ok {
+		return a.mmTarget
+	}
+	return 0
+}
+
+// UsedBy returns the pages currently consumed by a VM.
+func (b *Backend) UsedBy(vm VMID) mem.Pages {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a, ok := b.vms[vm]; ok {
+		return a.tmemUsed
+	}
+	return 0
+}
+
+// VMs returns the registered VM ids in ascending order.
+func (b *Backend) VMs() []VMID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ids := make([]VMID, 0, len(b.vms))
+	for id := range b.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Footprint returns the host bytes retained by the page store.
+func (b *Backend) Footprint() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.store.Footprint()
+}
+
+// CheckInvariants cross-checks all capacity accounting. It is exercised by
+// the property tests and may be called at any time.
+func (b *Backend) CheckInvariants() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	if err := b.alloc.CheckInvariants(); err != nil {
+		return err
+	}
+	var poolPages, vmPages mem.Pages
+	for _, p := range b.pools {
+		var n mem.Pages
+		for _, obj := range p.objects {
+			n += mem.Pages(len(obj))
+		}
+		if n != p.pages {
+			return fmt.Errorf("tmem: pool %d page count %d != entries %d", p.id, p.pages, n)
+		}
+		poolPages += n
+	}
+	for _, a := range b.vms {
+		if a.tmemUsed < 0 {
+			return fmt.Errorf("tmem: vm %d negative tmem_used %d", a.id, a.tmemUsed)
+		}
+		vmPages += a.tmemUsed
+	}
+	used := b.alloc.Used()
+	if poolPages != used {
+		return fmt.Errorf("tmem: pools hold %d pages but allocator reports %d used", poolPages, used)
+	}
+	if vmPages != used {
+		return fmt.Errorf("tmem: VM accounts sum to %d pages but allocator reports %d used", vmPages, used)
+	}
+	if c := b.store.Count(); c != int(used) {
+		return fmt.Errorf("tmem: page store holds %d pages but allocator reports %d used", c, used)
+	}
+	for _, a := range b.vms {
+		if a.cumulPutsSucc > a.cumulPutsTotal {
+			return fmt.Errorf("tmem: vm %d puts_succ %d > puts_total %d", a.id, a.cumulPutsSucc, a.cumulPutsTotal)
+		}
+	}
+	return nil
+}

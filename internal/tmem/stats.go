@@ -1,0 +1,219 @@
+package tmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"smartmem/internal/mem"
+)
+
+// VMStat is one VM's entry in a statistics sample. Field names map onto the
+// paper's Table I:
+//
+//	ID              memstats.vm[i].vm_id
+//	PutsTotal       memstats.vm[i].puts_total   (this sampling interval)
+//	PutsSucc        memstats.vm[i].puts_succ    (this sampling interval)
+//	TmemUsed        vm_data_hyp[id].tmem_used
+//	MMTarget        vm_data_hyp[id].mm_target
+//	CumulPutsFailed cumulative failed puts (drives reconf-static, Alg. 3)
+type VMStat struct {
+	ID              VMID
+	PutsTotal       uint64
+	PutsSucc        uint64
+	TmemUsed        mem.Pages
+	MMTarget        mem.Pages
+	CumulPutsFailed uint64
+}
+
+// FailedPuts returns the failed puts in the sampling interval
+// (Algorithm 4, line 8: puts_total - puts_succ).
+func (v VMStat) FailedPuts() uint64 {
+	if v.PutsSucc > v.PutsTotal {
+		return 0
+	}
+	return v.PutsTotal - v.PutsSucc
+}
+
+// MemStats is the statistics message the hypervisor publishes each sampling
+// interval (Table I: memstats). The MM's policies consume exactly this.
+type MemStats struct {
+	// IntervalSeq numbers samples from 1.
+	IntervalSeq uint64
+	// TotalTmem is node_info.total_tmem in pages.
+	TotalTmem mem.Pages
+	// FreeTmem is node_info.free_tmem at sampling time.
+	FreeTmem mem.Pages
+	// VMs holds one entry per registered VM, ascending by ID
+	// (memstats.vm_count == len(VMs)).
+	VMs []VMStat
+}
+
+// VMCount returns memstats.vm_count.
+func (m MemStats) VMCount() int { return len(m.VMs) }
+
+// Find returns the stats entry for a VM, if present.
+func (m MemStats) Find(id VMID) (VMStat, bool) {
+	for _, v := range m.VMs {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return VMStat{}, false
+}
+
+// TargetUpdate is one element of the MM's policy output (Table I: mm_out[i]).
+type TargetUpdate struct {
+	ID       VMID      // mm_out[i].vm_id
+	MMTarget mem.Pages // mm_out[i].mm_target
+}
+
+// Sample atomically snapshots the statistics of Table I and resets the
+// interval counters (puts_total, puts_succ), beginning the next sampling
+// interval. The hypervisor invokes this once per second of virtual time and
+// pushes the result through the TKM to the MM.
+func (b *Backend) Sample(seq uint64) MemStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	ms := MemStats{
+		IntervalSeq: seq,
+		TotalTmem:   b.alloc.Total(),
+		FreeTmem:    b.alloc.Free(),
+		VMs:         make([]VMStat, 0, len(b.vms)),
+	}
+	for _, a := range b.vms {
+		ms.VMs = append(ms.VMs, VMStat{
+			ID:              a.id,
+			PutsTotal:       a.putsTotal,
+			PutsSucc:        a.putsSucc,
+			TmemUsed:        a.tmemUsed,
+			MMTarget:        a.mmTarget,
+			CumulPutsFailed: a.cumulPutsFailed(),
+		})
+		a.putsTotal = 0
+		a.putsSucc = 0
+	}
+	sort.Slice(ms.VMs, func(i, j int) bool { return ms.VMs[i].ID < ms.VMs[j].ID })
+	return ms
+}
+
+// ApplyTargets installs a batch of MM policy outputs.
+func (b *Backend) ApplyTargets(targets []TargetUpdate) {
+	for _, t := range targets {
+		b.SetTarget(t.ID, t.MMTarget)
+	}
+}
+
+// OpCounts is a cumulative per-VM operation summary for reports and tests.
+type OpCounts struct {
+	ID         VMID
+	PutsTotal  uint64
+	PutsSucc   uint64
+	GetsTotal  uint64
+	GetsHit    uint64
+	Flushes    uint64
+	EphEvicted uint64
+}
+
+// Counts returns cumulative operation counts for a VM.
+func (b *Backend) Counts(vm VMID) (OpCounts, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a, ok := b.vms[vm]
+	if !ok {
+		return OpCounts{}, false
+	}
+	return OpCounts{
+		ID:         a.id,
+		PutsTotal:  a.cumulPutsTotal,
+		PutsSucc:   a.cumulPutsSucc,
+		GetsTotal:  a.cumulGetsTotal,
+		GetsHit:    a.cumulGetsHit,
+		Flushes:    a.cumulFlushes,
+		EphEvicted: a.cumulEphEvicted,
+	}, true
+}
+
+// --- Wire encoding (used by the TKM socket transport) ---
+
+// AppendWire appends a length-delimited big-endian encoding of m.
+func (m MemStats) AppendWire(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.IntervalSeq)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.TotalTmem))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.FreeTmem))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.VMs)))
+	for _, v := range m.VMs {
+		b = binary.BigEndian.AppendUint32(b, uint32(v.ID))
+		b = binary.BigEndian.AppendUint64(b, v.PutsTotal)
+		b = binary.BigEndian.AppendUint64(b, v.PutsSucc)
+		b = binary.BigEndian.AppendUint64(b, uint64(v.TmemUsed))
+		b = binary.BigEndian.AppendUint64(b, uint64(v.MMTarget))
+		b = binary.BigEndian.AppendUint64(b, v.CumulPutsFailed)
+	}
+	return b
+}
+
+const memStatsHeaderSize = 8 + 8 + 8 + 4
+const vmStatWireSize = 4 + 8*5
+
+// MemStatsFromWire decodes a MemStats encoded with AppendWire and returns
+// the number of bytes consumed.
+func MemStatsFromWire(b []byte) (MemStats, int, error) {
+	if len(b) < memStatsHeaderSize {
+		return MemStats{}, 0, fmt.Errorf("tmem: memstats encoding too short: %d bytes", len(b))
+	}
+	m := MemStats{
+		IntervalSeq: binary.BigEndian.Uint64(b[0:8]),
+		TotalTmem:   mem.Pages(binary.BigEndian.Uint64(b[8:16])),
+		FreeTmem:    mem.Pages(binary.BigEndian.Uint64(b[16:24])),
+	}
+	n := int(binary.BigEndian.Uint32(b[24:28]))
+	off := memStatsHeaderSize
+	if len(b) < off+n*vmStatWireSize {
+		return MemStats{}, 0, fmt.Errorf("tmem: memstats encoding truncated: want %d VM entries", n)
+	}
+	m.VMs = make([]VMStat, n)
+	for i := 0; i < n; i++ {
+		v := &m.VMs[i]
+		v.ID = VMID(binary.BigEndian.Uint32(b[off : off+4]))
+		v.PutsTotal = binary.BigEndian.Uint64(b[off+4 : off+12])
+		v.PutsSucc = binary.BigEndian.Uint64(b[off+12 : off+20])
+		v.TmemUsed = mem.Pages(binary.BigEndian.Uint64(b[off+20 : off+28]))
+		v.MMTarget = mem.Pages(binary.BigEndian.Uint64(b[off+28 : off+36]))
+		v.CumulPutsFailed = binary.BigEndian.Uint64(b[off+36 : off+44])
+		off += vmStatWireSize
+	}
+	return m, off, nil
+}
+
+// AppendTargetsWire encodes a policy-output batch (mm_out) for the wire.
+func AppendTargetsWire(b []byte, ts []TargetUpdate) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ts)))
+	for _, t := range ts {
+		b = binary.BigEndian.AppendUint32(b, uint32(t.ID))
+		b = binary.BigEndian.AppendUint64(b, uint64(t.MMTarget))
+	}
+	return b
+}
+
+// TargetsFromWire decodes a batch encoded by AppendTargetsWire and returns
+// the number of bytes consumed.
+func TargetsFromWire(b []byte) ([]TargetUpdate, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("tmem: targets encoding too short")
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	const rec = 4 + 8
+	if len(b) < 4+n*rec {
+		return nil, 0, fmt.Errorf("tmem: targets encoding truncated: want %d entries", n)
+	}
+	ts := make([]TargetUpdate, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		ts[i].ID = VMID(binary.BigEndian.Uint32(b[off : off+4]))
+		ts[i].MMTarget = mem.Pages(binary.BigEndian.Uint64(b[off+4 : off+12]))
+		off += rec
+	}
+	return ts, off, nil
+}

@@ -1,0 +1,125 @@
+// Package vdisk models the virtual disk devices that back guest swap. In
+// the paper's testbed every VM's virtual disk image lives on the single
+// host hard drive, so swap traffic from one VM delays every other VM —
+// that contention is a large part of why tmem starvation hurts so much.
+//
+// The model: each VM has a Disk front-end; all front-ends share one host
+// spindle (a FIFO sim.Server). An I/O costs a per-operation service time
+// (optionally jittered) plus whatever backlog the spindle has accumulated.
+package vdisk
+
+import (
+	"smartmem/internal/sim"
+)
+
+// Host is the physical disk shared by all virtual disks on a node.
+type Host struct {
+	spindle  *sim.Server
+	readSvc  sim.Duration
+	writeSvc sim.Duration
+	jitter   float64
+	rng      *sim.RNG
+}
+
+// NewHost creates the host disk. readSvc/writeSvc are per-page service
+// times; jitterFrac (0..1) adds uniform service-time variation using rng
+// (nil rng disables jitter).
+func NewHost(readSvc, writeSvc sim.Duration, jitterFrac float64, rng *sim.RNG) *Host {
+	if readSvc <= 0 {
+		panic("vdisk: non-positive read service time")
+	}
+	if writeSvc <= 0 {
+		panic("vdisk: non-positive write service time")
+	}
+	if rng == nil {
+		jitterFrac = 0
+	}
+	return &Host{
+		spindle:  sim.NewServer("host-disk"),
+		readSvc:  readSvc,
+		writeSvc: writeSvc,
+		jitter:   jitterFrac,
+		rng:      rng,
+	}
+}
+
+func (h *Host) service(base sim.Duration) sim.Duration {
+	if h.jitter > 0 {
+		return h.rng.Jitter(base, h.jitter)
+	}
+	return base
+}
+
+// Ops returns the total number of I/Os served by the spindle.
+func (h *Host) Ops() uint64 { return h.spindle.Ops() }
+
+// BusyTime returns the cumulative host-disk service time.
+func (h *Host) BusyTime() sim.Duration { return h.spindle.BusyTime() }
+
+// WaitTime returns the cumulative queueing delay at the spindle.
+func (h *Host) WaitTime() sim.Duration { return h.spindle.WaitTime() }
+
+// Reset clears the spindle state between runs.
+func (h *Host) Reset() { h.spindle.Reset() }
+
+// Disk is one VM's virtual disk front-end.
+type Disk struct {
+	name string
+	host *Host
+
+	reads      uint64
+	writes     uint64
+	readTime   sim.Duration
+	writeTime  sim.Duration
+	maxSojourn sim.Duration
+}
+
+// NewDisk attaches a new virtual disk to host.
+func NewDisk(name string, host *Host) *Disk {
+	if host == nil {
+		panic("vdisk: nil host")
+	}
+	return &Disk{name: name, host: host}
+}
+
+// Read performs one page-sized read starting at virtual time now and
+// returns its duration (queueing + service).
+func (d *Disk) Read(now sim.Time) sim.Duration {
+	dur := d.host.spindle.Serve(now, d.host.service(d.host.readSvc))
+	d.reads++
+	d.readTime += dur
+	if dur > d.maxSojourn {
+		d.maxSojourn = dur
+	}
+	return dur
+}
+
+// Write performs one page-sized write starting at now and returns its
+// duration.
+func (d *Disk) Write(now sim.Time) sim.Duration {
+	dur := d.host.spindle.Serve(now, d.host.service(d.host.writeSvc))
+	d.writes++
+	d.writeTime += dur
+	if dur > d.maxSojourn {
+		d.maxSojourn = dur
+	}
+	return dur
+}
+
+// Name returns the disk's diagnostic name.
+func (d *Disk) Name() string { return d.name }
+
+// Reads returns the number of reads issued by this front-end.
+func (d *Disk) Reads() uint64 { return d.reads }
+
+// Writes returns the number of writes issued by this front-end.
+func (d *Disk) Writes() uint64 { return d.writes }
+
+// ReadTime returns the cumulative read sojourn time.
+func (d *Disk) ReadTime() sim.Duration { return d.readTime }
+
+// WriteTime returns the cumulative write sojourn time.
+func (d *Disk) WriteTime() sim.Duration { return d.writeTime }
+
+// MaxSojourn returns the worst single I/O latency seen.
+func (d *Disk) MaxSojourn() sim.Duration { return d.maxSojourn }

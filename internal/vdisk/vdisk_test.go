@@ -1,0 +1,97 @@
+package vdisk
+
+import (
+	"testing"
+
+	"smartmem/internal/sim"
+)
+
+func TestDiskBasicLatency(t *testing.T) {
+	h := NewHost(3*sim.Millisecond, 2*sim.Millisecond, 0, nil)
+	d := NewDisk("vm1", h)
+	if got := d.Read(0); got != 3*sim.Millisecond {
+		t.Errorf("idle read = %v, want 3ms", got)
+	}
+	if got := d.Write(sim.Time(10 * sim.Millisecond)); got != 2*sim.Millisecond {
+		t.Errorf("idle write = %v, want 2ms", got)
+	}
+	if d.Reads() != 1 || d.Writes() != 1 {
+		t.Errorf("counts = %d reads, %d writes", d.Reads(), d.Writes())
+	}
+	if d.ReadTime() != 3*sim.Millisecond || d.WriteTime() != 2*sim.Millisecond {
+		t.Errorf("times = %v read, %v write", d.ReadTime(), d.WriteTime())
+	}
+	if d.MaxSojourn() != 3*sim.Millisecond {
+		t.Errorf("max sojourn = %v", d.MaxSojourn())
+	}
+	if d.Name() != "vm1" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestSharedSpindleContention(t *testing.T) {
+	h := NewHost(3*sim.Millisecond, 3*sim.Millisecond, 0, nil)
+	d1 := NewDisk("vm1", h)
+	d2 := NewDisk("vm2", h)
+	// Both VMs issue at t=0: the second queues behind the first.
+	if got := d1.Read(0); got != 3*sim.Millisecond {
+		t.Errorf("first read = %v", got)
+	}
+	if got := d2.Read(0); got != 6*sim.Millisecond {
+		t.Errorf("contended read = %v, want 6ms (3ms queue + 3ms service)", got)
+	}
+	if h.Ops() != 2 {
+		t.Errorf("host ops = %d", h.Ops())
+	}
+	if h.WaitTime() != 3*sim.Millisecond {
+		t.Errorf("host wait = %v, want 3ms", h.WaitTime())
+	}
+	h.Reset()
+	if got := d2.Read(0); got != 3*sim.Millisecond {
+		t.Errorf("read after reset = %v", got)
+	}
+}
+
+func TestJitterBoundsServiceTime(t *testing.T) {
+	rng := sim.NewRNG(1)
+	h := NewHost(3*sim.Millisecond, 3*sim.Millisecond, 0.25, rng)
+	d := NewDisk("vm", h)
+	now := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		// Issue when idle so sojourn == service.
+		dur := d.Read(now)
+		lo, hi := sim.Duration(2250*sim.Microsecond), sim.Duration(3750*sim.Microsecond)
+		if dur < lo || dur > hi {
+			t.Fatalf("jittered service %v outside [%v, %v]", dur, lo, hi)
+		}
+		now += sim.Time(dur) + sim.Time(sim.Second)
+	}
+}
+
+func TestHostRejectsBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHost(0, sim.Millisecond, 0, nil) },
+		func() { NewHost(sim.Millisecond, -1, 0, nil) },
+		func() { NewDisk("x", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	h := NewHost(sim.Millisecond, sim.Millisecond, 0, nil)
+	d := NewDisk("v", h)
+	for i := 0; i < 10; i++ {
+		d.Write(sim.Time(i) * sim.Time(sim.Second))
+	}
+	if h.BusyTime() != 10*sim.Millisecond {
+		t.Errorf("busy = %v, want 10ms", h.BusyTime())
+	}
+}

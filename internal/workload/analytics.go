@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+)
+
+// InMemoryAnalytics models CloudSuite's in-memory analytics benchmark
+// (collaborative filtering over the MovieLens dataset, paper Table II,
+// Scenario 1): a dataset is loaded into memory, then scored in several
+// compute passes that sweep the dataset in chunks with significant CPU
+// work per page, and finally released.
+//
+// The chunk order of each pass is shuffled: real ALS-style scoring visits
+// rating blocks in an order uncorrelated with memory layout, which makes
+// the page miss ratio under memory pressure proportional to the overflow
+// (dataset − RAM) rather than the pathological 100% of a cyclic scan. See
+// MiniALS in datagen.go for the concrete computation this models.
+type InMemoryAnalytics struct {
+	// Label distinguishes repeated runs in reports ("run1", "run2").
+	Label string
+	// DatasetBytes is the in-memory footprint (dataset + model state).
+	DatasetBytes mem.Bytes
+	// Passes is the number of scoring sweeps over the dataset.
+	Passes int
+	// CPUPerPageLoad is compute charged per page during load (parsing).
+	CPUPerPageLoad sim.Duration
+	// CPUPerPagePass is compute charged per page during a scoring pass.
+	CPUPerPagePass sim.Duration
+	// ChunkPages is the contiguous block visited at a time.
+	ChunkPages mem.Pages
+	// WriteFraction is the share of pass accesses that dirty their page
+	// (model-state updates amid mostly-read scoring). Zero selects the
+	// default of 0.2.
+	WriteFraction float64
+}
+
+// Name implements Workload.
+func (w InMemoryAnalytics) Name() string { return "in-memory-analytics" }
+
+// Run implements Workload.
+func (w InMemoryAnalytics) Run(ctx *Ctx) {
+	if w.DatasetBytes <= 0 || w.Passes <= 0 {
+		panic("workload: invalid in-memory-analytics parameters")
+	}
+	chunk := w.ChunkPages
+	if chunk <= 0 {
+		chunk = 64
+	}
+	writeFrac := w.WriteFraction
+	if writeFrac == 0 {
+		writeFrac = 0.2
+	}
+	total := ctx.pages(w.DatasetBytes)
+	start := ctx.Proc.Now()
+
+	// Phase 1: load the dataset (sequential first-touch + parse cost;
+	// writes by construction).
+	for off := mem.Pages(0); off < total; off += chunk {
+		if ctx.Stop.Stopped() {
+			return
+		}
+		n := min(chunk, total-off)
+		ctx.Guest.Access(ctx.Proc, guest.PageID(off), n, true)
+		if w.CPUPerPageLoad > 0 {
+			ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPageLoad)*int64(n)))
+		}
+	}
+
+	// Phase 2: scoring passes in shuffled chunk order; mostly reads with
+	// a writeFrac share of model updates.
+	nChunks := int((total + chunk - 1) / chunk)
+	for pass := 0; pass < w.Passes; pass++ {
+		order := ctx.RNG.Perm(nChunks)
+		for _, ci := range order {
+			if ctx.Stop.Stopped() {
+				return
+			}
+			off := mem.Pages(ci) * chunk
+			n := min(chunk, total-off)
+			for j := mem.Pages(0); j < n; j++ {
+				write := ctx.RNG.Float64() < writeFrac
+				ctx.Guest.Touch(ctx.Proc, guest.PageID(off+j), write)
+			}
+			if w.CPUPerPagePass > 0 {
+				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPagePass)*int64(n)))
+			}
+		}
+	}
+
+	// Phase 3: release everything (process exit frees swap + tmem).
+	ctx.Guest.Free(ctx.Proc, 0, total)
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
+	ctx.report(label, start, ctx.Proc.Now())
+}
+
+// GraphAnalytics models CloudSuite's graph analytics benchmark (PageRank
+// over the soc-twitter-follows graph, paper Table II, Scenarios 2 and 3):
+// the graph is materialized quickly — producing the sharp early footprint
+// spike visible in the paper's Figures 6 and 10 — and then iterated over
+// with poorly localized random accesses (edge-order gather), before being
+// released. See RMAT/PageRank in datagen.go for the concrete computation
+// this models.
+type GraphAnalytics struct {
+	// Label distinguishes runs in reports.
+	Label string
+	// GraphBytes is the in-memory graph footprint.
+	GraphBytes mem.Bytes
+	// Iterations is the number of rank iterations.
+	Iterations int
+	// TouchesPerPagePerIter controls how many random page touches one
+	// iteration performs, as a multiple of the graph's page count
+	// (edge-to-page ratio).
+	TouchesPerPagePerIter float64
+	// CPUPerTouch is compute charged per random touch.
+	CPUPerTouch sim.Duration
+	// CPUPerPageLoad is compute charged per page while building the graph
+	// (kept small: the load phase is allocation-bound).
+	CPUPerPageLoad sim.Duration
+	// WriteFraction is the share of gather touches that dirty their page
+	// (rank/aggregation updates amid mostly-read edge traversal). Zero
+	// selects the default of 0.15.
+	WriteFraction float64
+	// HotFraction is the fraction of the graph's pages forming the hot
+	// set (high-degree vertices and their adjacency, touched by most
+	// gathers — social graphs are scale-free, see RMAT). Zero or >=1
+	// selects uniform access over the whole graph.
+	HotFraction float64
+	// HotProb is the probability a gather touch lands in the hot set
+	// (only meaningful with 0 < HotFraction < 1).
+	HotProb float64
+}
+
+// Name implements Workload.
+func (w GraphAnalytics) Name() string { return "graph-analytics" }
+
+// Run implements Workload.
+func (w GraphAnalytics) Run(ctx *Ctx) {
+	if w.GraphBytes <= 0 || w.Iterations <= 0 {
+		panic("workload: invalid graph-analytics parameters")
+	}
+	writeFrac := w.WriteFraction
+	if writeFrac == 0 {
+		writeFrac = 0.15
+	}
+	total := ctx.pages(w.GraphBytes)
+	start := ctx.Proc.Now()
+	const chunk = mem.Pages(256)
+
+	// Phase 1: rapid graph construction (sequential writes, low CPU): the
+	// memory demand "rapidly increases ... putting significant pressure on
+	// the tmem capacity" (paper §V-B).
+	for off := mem.Pages(0); off < total; off += chunk {
+		if ctx.Stop.Stopped() {
+			return
+		}
+		n := min(chunk, total-off)
+		ctx.Guest.Access(ctx.Proc, guest.PageID(off), n, true)
+		if w.CPUPerPageLoad > 0 {
+			ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPageLoad)*int64(n)))
+		}
+	}
+
+	// Phase 2: rank iterations with random gather, hot-set biased when
+	// configured (scale-free graphs concentrate traffic on high-degree
+	// vertices; the cold tail of the adjacency is what overflows to
+	// tmem/swap and is touched rarely).
+	touchesPerIter := int64(float64(total) * w.TouchesPerPagePerIter)
+	if touchesPerIter < 1 {
+		touchesPerIter = 1
+	}
+	hotPages := total
+	if w.HotFraction > 0 && w.HotFraction < 1 {
+		hotPages = mem.Pages(float64(total) * w.HotFraction)
+		if hotPages < 1 {
+			hotPages = 1
+		}
+	}
+	coldPages := total - hotPages
+	for it := 0; it < w.Iterations; it++ {
+		var done int64
+		for done < touchesPerIter {
+			if ctx.Stop.Stopped() {
+				return
+			}
+			batch := int64(256)
+			if rem := touchesPerIter - done; rem < batch {
+				batch = rem
+			}
+			for i := int64(0); i < batch; i++ {
+				var pg guest.PageID
+				if coldPages > 0 && ctx.RNG.Float64() >= w.HotProb {
+					pg = guest.PageID(int64(hotPages) + ctx.RNG.Int63n(int64(coldPages)))
+				} else {
+					pg = guest.PageID(ctx.RNG.Int63n(int64(hotPages)))
+				}
+				write := ctx.RNG.Float64() < writeFrac
+				ctx.Guest.Touch(ctx.Proc, pg, write)
+			}
+			if w.CPUPerTouch > 0 {
+				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerTouch)*batch))
+			}
+			done += batch
+		}
+	}
+
+	// Phase 3: release.
+	ctx.Guest.Free(ctx.Proc, 0, total)
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
+	ctx.report(label, start, ctx.Proc.Now())
+}

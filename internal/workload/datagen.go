@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"smartmem/internal/sim"
+)
+
+// This file contains real miniature implementations of the computations
+// the two CloudSuite models stand in for. They serve three purposes:
+// (1) the examples run them as genuine payloads, (2) their access
+// behaviour (random gather for PageRank, blockwise sweeps for ALS)
+// justifies the phase shapes used by GraphAnalytics and
+// InMemoryAnalytics, and (3) they give the test suite non-trivial
+// numerical code to verify.
+
+// Graph is a directed graph in compressed adjacency form.
+type Graph struct {
+	N   int   // number of vertices
+	Off []int // Off[v]..Off[v+1] index into Dst
+	Dst []int // out-edges, concatenated per source vertex
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.Dst) }
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int) int { return g.Off[v+1] - g.Off[v] }
+
+// RMAT generates a scale-free directed graph with 2^scale vertices and
+// approximately edgeFactor*2^scale edges using the R-MAT recursive
+// partitioning model (a=0.57, b=0.19, c=0.19, d=0.05 — Graph500-like,
+// matching the skewed degree distribution of social graphs such as the
+// paper's soc-twitter-follows dataset).
+func RMAT(rng *sim.RNG, scale int, edgeFactor int) *Graph {
+	if scale < 1 || scale > 28 {
+		panic(fmt.Sprintf("workload: RMAT scale %d out of range [1,28]", scale))
+	}
+	if edgeFactor < 1 {
+		panic("workload: RMAT edge factor < 1")
+	}
+	n := 1 << uint(scale)
+	m := n * edgeFactor
+	srcs := make([]int, m)
+	dsts := make([]int, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left: nothing to add
+			case r < a+b:
+				v += bit
+			case r < a+b+c:
+				u += bit
+			default:
+				u += bit
+				v += bit
+			}
+		}
+		srcs[e], dsts[e] = u, v
+	}
+	// Build CSR.
+	off := make([]int, n+1)
+	for _, u := range srcs {
+		off[u+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	dst := make([]int, m)
+	cursor := append([]int(nil), off[:n]...)
+	for e := 0; e < m; e++ {
+		u := srcs[e]
+		dst[cursor[u]] = dsts[e]
+		cursor[u]++
+	}
+	return &Graph{N: n, Off: off, Dst: dst}
+}
+
+// PageRank runs iters power iterations with damping d and returns the rank
+// vector (sums to ~1). It is the computation GraphAnalytics models: each
+// iteration gathers ranks across edges in an order uncorrelated with
+// vertex layout.
+func PageRank(g *Graph, iters int, d float64) []float64 {
+	if iters < 1 {
+		panic("workload: PageRank iterations < 1")
+	}
+	if d <= 0 || d >= 1 {
+		panic("workload: PageRank damping outside (0,1)")
+	}
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - d) / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			deg := g.OutDegree(v)
+			if deg == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := d * rank[v] / float64(deg)
+			for _, w := range g.Dst[g.Off[v]:g.Off[v+1]] {
+				next[w] += share
+			}
+		}
+		if dangling > 0 {
+			spread := d * dangling / float64(n)
+			for i := range next {
+				next[i] += spread
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// Ratings is a sparse user×item rating matrix in COO form, shaped like the
+// MovieLens dataset used by CloudSuite's in-memory analytics (paper [17]).
+type Ratings struct {
+	Users, Items int
+	User, Item   []int
+	Value        []float64
+}
+
+// MovieLensShaped synthesizes nRatings ratings over users×items with a
+// Zipf-like popularity skew on items (popular movies dominate, as in the
+// real MovieLens distribution) and ratings in {0.5, 1.0, ..., 5.0}.
+func MovieLensShaped(rng *sim.RNG, users, items, nRatings int) *Ratings {
+	if users < 1 || items < 1 || nRatings < 1 {
+		panic("workload: invalid ratings dimensions")
+	}
+	r := &Ratings{
+		Users: users,
+		Items: items,
+		User:  make([]int, nRatings),
+		Item:  make([]int, nRatings),
+		Value: make([]float64, nRatings),
+	}
+	for i := 0; i < nRatings; i++ {
+		r.User[i] = rng.Intn(users)
+		// Zipf-ish item choice: x = items^(u) concentrates low indices.
+		u := rng.Float64()
+		item := int(math.Pow(float64(items), u)) - 1
+		if item < 0 {
+			item = 0
+		}
+		if item >= items {
+			item = items - 1
+		}
+		r.Item[i] = item
+		r.Value[i] = 0.5 + 0.5*float64(rng.Intn(10))
+	}
+	return r
+}
+
+// MiniALS performs iters rounds of alternating-least-squares-style
+// factor updates with rank k and returns the RMSE after the final round.
+// It is a simplified (diagonally regularized, gradient-style) version of
+// the computation CloudSuite's recommender runs, and is the workload
+// InMemoryAnalytics models: blockwise sweeps over the rating data with
+// heavy per-element compute.
+func MiniALS(r *Ratings, k, iters int, rng *sim.RNG) float64 {
+	if k < 1 || iters < 1 {
+		panic("workload: invalid ALS parameters")
+	}
+	uf := make([][]float64, r.Users)
+	vf := make([][]float64, r.Items)
+	for i := range uf {
+		uf[i] = randVec(rng, k)
+	}
+	for i := range vf {
+		vf[i] = randVec(rng, k)
+	}
+	const lr, reg = 0.01, 0.05
+	for it := 0; it < iters; it++ {
+		for e := range r.Value {
+			u, v, y := r.User[e], r.Item[e], r.Value[e]
+			pred := dot(uf[u], vf[v])
+			err := y - pred
+			for d := 0; d < k; d++ {
+				du := lr * (err*vf[v][d] - reg*uf[u][d])
+				dv := lr * (err*uf[u][d] - reg*vf[v][d])
+				uf[u][d] += du
+				vf[v][d] += dv
+			}
+		}
+	}
+	var se float64
+	for e := range r.Value {
+		d := r.Value[e] - dot(uf[r.User[e]], vf[r.Item[e]])
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(r.Value)))
+}
+
+func randVec(rng *sim.RNG, k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = 0.1 * rng.NormFloat64()
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

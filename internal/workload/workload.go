@@ -1,0 +1,206 @@
+// Package workload models the applications of the paper's evaluation
+// (Table II): the usemem micro-benchmark (described fully in §IV) and
+// phase-level models of CloudSuite's in-memory-analytics and
+// graph-analytics, whose page-access streams drive the guest kernels.
+//
+// The CloudSuite benchmarks are modelled, not executed: what tmem policy
+// behaviour depends on is each application's memory footprint over time and
+// its page reuse pattern, which the models reproduce (rapid vs gradual
+// footprint growth, scan-heavy vs random access, multi-pass reuse). The
+// companion file datagen.go contains real miniature implementations
+// (R-MAT + PageRank, MovieLens-shaped ratings + an ALS step) that justify
+// the chosen phase shapes and serve as example payloads.
+package workload
+
+import (
+	"fmt"
+
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+)
+
+// Flag is a cooperative stop signal shared between workloads and scenario
+// controllers (the Usemem scenario stops every VM when VM3 reaches its
+// 768 MiB milestone).
+type Flag struct{ stopped bool }
+
+// Set raises the flag.
+func (f *Flag) Set() { f.stopped = true }
+
+// Stopped reports whether the flag is raised.
+func (f *Flag) Stopped() bool { return f != nil && f.stopped }
+
+// Ctx carries everything a workload needs while running.
+type Ctx struct {
+	// Proc is the simulated process executing the workload.
+	Proc *sim.Proc
+	// Guest is the VM's kernel.
+	Guest *guest.Kernel
+	// RNG is this workload's private random stream.
+	RNG *sim.RNG
+	// PageSize converts the byte-denominated workload parameters to pages.
+	PageSize mem.Bytes
+	// Report records a completed run/milestone: label plus start/end
+	// virtual times. May be nil.
+	Report func(label string, start, end sim.Time)
+	// OnMilestone fires when a workload passes a named internal milestone
+	// (used for cross-VM coordination in the Usemem scenario). May be nil.
+	OnMilestone func(label string)
+	// Stop is polled between batches; when raised the workload returns
+	// early. May be nil.
+	Stop *Flag
+}
+
+func (c *Ctx) report(label string, start, end sim.Time) {
+	if c.Report != nil {
+		c.Report(label, start, end)
+	}
+}
+
+func (c *Ctx) milestone(label string) {
+	if c.OnMilestone != nil {
+		c.OnMilestone(label)
+	}
+}
+
+func (c *Ctx) pages(b mem.Bytes) mem.Pages { return mem.PagesIn(b, c.PageSize) }
+
+// Workload is one application to run inside a VM.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Run executes the workload to completion (or until ctx.Stop).
+	Run(ctx *Ctx)
+}
+
+// --- usemem ---
+
+// Usemem is the synthetic micro-benchmark of paper §IV: allocate an
+// incremental amount of memory starting from StartBytes and growing by
+// StepBytes; after allocating a region, traverse it linearly performing
+// write/read operations; once a traversal completes, allocate a larger
+// block, until MaxBytes; then keep traversing the full MaxBytes until
+// stopped.
+type Usemem struct {
+	// StartBytes is the first allocation (paper: 128 MB).
+	StartBytes mem.Bytes
+	// StepBytes is the increment (paper: 128 MB).
+	StepBytes mem.Bytes
+	// MaxBytes is the largest allocation (paper: 1 GB).
+	MaxBytes mem.Bytes
+	// CPUPerPage is the compute charged per page visited beyond the pure
+	// memory cost (usemem is memory-bound, so keep this small).
+	CPUPerPage sim.Duration
+}
+
+// DefaultUsemem returns the paper's parameterization.
+func DefaultUsemem() Usemem {
+	return Usemem{
+		StartBytes: 128 * mem.MiB,
+		StepBytes:  128 * mem.MiB,
+		MaxBytes:   1 * mem.GiB,
+		CPUPerPage: 0,
+	}
+}
+
+// Name implements Workload.
+func (Usemem) Name() string { return "usemem" }
+
+// MilestoneLabel names the milestone fired when usemem begins allocating a
+// region of the given size.
+func MilestoneLabel(size mem.Bytes) string { return fmt.Sprintf("alloc-%s", size) }
+
+// RunLabel names the report entry for a completed traversal at a size.
+func RunLabel(size mem.Bytes) string { return fmt.Sprintf("usemem-%s", size) }
+
+// Run implements Workload.
+func (u Usemem) Run(ctx *Ctx) {
+	if u.StartBytes <= 0 || u.StepBytes <= 0 || u.MaxBytes < u.StartBytes {
+		panic("workload: invalid usemem parameters")
+	}
+	const chunk = 256 // pages between stop checks
+	size := u.StartBytes
+	for {
+		if ctx.Stop.Stopped() {
+			return
+		}
+		ctx.milestone(MilestoneLabel(size))
+		start := ctx.Proc.Now()
+		total := ctx.pages(size)
+		// One linear write/read traversal of the full region. New pages
+		// fault in (allocation); old pages are revisited (traversal).
+		// usemem performs "write/read operations", so every visit dirties
+		// the page — the most hostile pattern for tmem churn.
+		for off := mem.Pages(0); off < total; off += chunk {
+			if ctx.Stop.Stopped() {
+				return
+			}
+			n := min(chunk, total-off)
+			ctx.Guest.Access(ctx.Proc, guest.PageID(off), n, true)
+			if u.CPUPerPage > 0 {
+				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(u.CPUPerPage)*int64(n)))
+			}
+		}
+		ctx.report(RunLabel(size), start, ctx.Proc.Now())
+		if size < u.MaxBytes {
+			size += u.StepBytes
+			if size > u.MaxBytes {
+				size = u.MaxBytes
+			}
+		}
+		// At MaxBytes usemem keeps traversing until stopped; the loop's
+		// next iteration performs exactly that.
+	}
+}
+
+func min(a, b mem.Pages) mem.Pages {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sequence runs several workloads back to back with idle gaps, e.g.
+// Scenario 1's "execute in-memory-analytics once, sleep 5 seconds,
+// execute it again".
+type Sequence struct {
+	// Steps are executed in order.
+	Steps []SequenceStep
+}
+
+// SequenceStep is one element of a Sequence.
+type SequenceStep struct {
+	// W is the workload to run; nil means idle only.
+	W Workload
+	// IdleAfter is virtual time to sleep after the step completes.
+	IdleAfter sim.Duration
+}
+
+// Name implements Workload.
+func (s Sequence) Name() string {
+	if len(s.Steps) == 0 {
+		return "empty-sequence"
+	}
+	for _, st := range s.Steps {
+		if st.W != nil {
+			return st.W.Name() + "-sequence"
+		}
+	}
+	return "idle-sequence"
+}
+
+// Run implements Workload.
+func (s Sequence) Run(ctx *Ctx) {
+	for _, st := range s.Steps {
+		if ctx.Stop.Stopped() {
+			return
+		}
+		if st.W != nil {
+			st.W.Run(ctx)
+		}
+		if st.IdleAfter > 0 {
+			ctx.Guest.Idle(ctx.Proc, st.IdleAfter)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+	"smartmem/internal/vdisk"
+)
+
+const tPage = 64 * mem.KiB
+
+type wrig struct {
+	k    *sim.Kernel
+	be   *tmem.Backend
+	host *vdisk.Host
+	runs []string
+}
+
+func newWrig(tmemBytes mem.Bytes) *wrig {
+	k := sim.NewKernel(7)
+	var be *tmem.Backend
+	if tmemBytes > 0 {
+		be = tmem.NewBackend(mem.PagesIn(tmemBytes, tPage), tmem.NewMetaStore(int(tPage)))
+	}
+	return &wrig{
+		k:    k,
+		be:   be,
+		host: vdisk.NewHost(3*sim.Millisecond, 3*sim.Millisecond, 0, nil),
+	}
+}
+
+func (r *wrig) ctx(p *sim.Proc, ramBytes mem.Bytes, stop *Flag, onMilestone func(string)) *Ctx {
+	g := guest.NewKernel(guest.Config{
+		VM:        1,
+		RAMPages:  mem.PagesIn(ramBytes, tPage),
+		Backend:   r.be,
+		Frontswap: r.be != nil,
+		Disk:      vdisk.NewDisk("d", r.host),
+	})
+	return &Ctx{
+		Proc:     p,
+		Guest:    g,
+		RNG:      sim.NewRNG(3),
+		PageSize: tPage,
+		Report: func(label string, start, end sim.Time) {
+			r.runs = append(r.runs, label)
+		},
+		OnMilestone: onMilestone,
+		Stop:        stop,
+	}
+}
+
+func TestUsememMilestonesAndStop(t *testing.T) {
+	r := newWrig(0)
+	var milestones []string
+	stop := &Flag{}
+	u := Usemem{StartBytes: 16 * mem.MiB, StepBytes: 16 * mem.MiB, MaxBytes: 64 * mem.MiB}
+	r.k.Spawn("usemem", func(p *sim.Proc) {
+		ctx := r.ctx(p, 256*mem.MiB, stop, func(l string) {
+			milestones = append(milestones, l)
+			// Stop once the workload starts its second full-size pass.
+			count := 0
+			for _, m := range milestones {
+				if m == MilestoneLabel(64*mem.MiB) {
+					count++
+				}
+			}
+			if count == 2 {
+				stop.Set()
+			}
+		})
+		u.Run(ctx)
+	})
+	r.k.Run()
+
+	wantMilestones := []string{
+		MilestoneLabel(16 * mem.MiB), MilestoneLabel(32 * mem.MiB),
+		MilestoneLabel(48 * mem.MiB), MilestoneLabel(64 * mem.MiB),
+		MilestoneLabel(64 * mem.MiB),
+	}
+	if len(milestones) != len(wantMilestones) {
+		t.Fatalf("milestones = %v, want %v", milestones, wantMilestones)
+	}
+	for i := range wantMilestones {
+		if milestones[i] != wantMilestones[i] {
+			t.Fatalf("milestones = %v, want %v", milestones, wantMilestones)
+		}
+	}
+	// Four completed traversals reported (the fifth was stopped mid-way).
+	if len(r.runs) != 4 {
+		t.Errorf("runs = %v, want 4 entries", r.runs)
+	}
+	if r.runs[0] != "usemem-16MiB" || r.runs[3] != "usemem-64MiB" {
+		t.Errorf("run labels = %v", r.runs)
+	}
+}
+
+func TestUsememStaysWithinMax(t *testing.T) {
+	r := newWrig(0)
+	stop := &Flag{}
+	var g *guest.Kernel
+	u := Usemem{StartBytes: 8 * mem.MiB, StepBytes: 8 * mem.MiB, MaxBytes: 16 * mem.MiB}
+	passes := 0
+	r.k.Spawn("usemem", func(p *sim.Proc) {
+		ctx := r.ctx(p, 64*mem.MiB, stop, func(l string) {
+			if l == MilestoneLabel(16*mem.MiB) {
+				passes++
+				if passes == 3 {
+					stop.Set()
+				}
+			}
+		})
+		g = ctx.Guest
+		u.Run(ctx)
+	})
+	r.k.Run()
+	// Footprint never exceeds MaxBytes worth of pages.
+	if got, want := g.Resident(), mem.PagesIn(16*mem.MiB, tPage); got > want {
+		t.Errorf("resident = %d pages, want <= %d", got, want)
+	}
+}
+
+func TestUsememValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid usemem did not panic")
+		}
+	}()
+	r := newWrig(0)
+	r.k.Spawn("u", func(p *sim.Proc) {
+		(Usemem{}).Run(r.ctx(p, mem.MiB, nil, nil))
+	})
+	r.k.Run()
+}
+
+func TestInMemoryAnalyticsLifecycle(t *testing.T) {
+	r := newWrig(512 * mem.MiB)
+	w := InMemoryAnalytics{
+		Label:        "run1",
+		DatasetBytes: 96 * mem.MiB,
+		Passes:       2,
+	}
+	var g *guest.Kernel
+	r.k.Spawn("ima", func(p *sim.Proc) {
+		ctx := r.ctx(p, 64*mem.MiB, nil, nil) // dataset > RAM: pressure
+		g = ctx.Guest
+		w.Run(ctx)
+	})
+	r.k.Run()
+	if len(r.runs) != 1 || r.runs[0] != "run1" {
+		t.Fatalf("runs = %v", r.runs)
+	}
+	// All memory released at the end: footprint back to zero, tmem empty.
+	if g.Resident() != 0 {
+		t.Errorf("resident after run = %d", g.Resident())
+	}
+	if used := r.be.UsedBy(1); used != 0 {
+		t.Errorf("tmem in use after free = %d", used)
+	}
+	s := g.Stats()
+	if s.Evictions == 0 || s.PutsOK == 0 {
+		t.Errorf("expected memory pressure, stats = %+v", s)
+	}
+}
+
+func TestInMemoryAnalyticsPressureSlowsItDown(t *testing.T) {
+	run := func(ram mem.Bytes) sim.Time {
+		r := newWrig(0) // no tmem: overflow pays disk prices
+		var end sim.Time
+		w := InMemoryAnalytics{DatasetBytes: 64 * mem.MiB, Passes: 2}
+		r.k.Spawn("ima", func(p *sim.Proc) {
+			w.Run(r.ctx(p, ram, nil, nil))
+			end = p.Now()
+		})
+		r.k.Run()
+		return end
+	}
+	comfortable := run(128 * mem.MiB)
+	pressured := run(32 * mem.MiB)
+	if pressured < 4*comfortable {
+		t.Errorf("pressure %v not ≫ comfortable %v", pressured, comfortable)
+	}
+}
+
+func TestGraphAnalyticsLifecycle(t *testing.T) {
+	r := newWrig(256 * mem.MiB)
+	w := GraphAnalytics{
+		Label:                 "ga1",
+		GraphBytes:            64 * mem.MiB,
+		Iterations:            2,
+		TouchesPerPagePerIter: 1.5,
+	}
+	var g *guest.Kernel
+	r.k.Spawn("ga", func(p *sim.Proc) {
+		ctx := r.ctx(p, 32*mem.MiB, nil, nil)
+		g = ctx.Guest
+		w.Run(ctx)
+	})
+	r.k.Run()
+	if len(r.runs) != 1 || r.runs[0] != "ga1" {
+		t.Fatalf("runs = %v", r.runs)
+	}
+	if g.Resident() != 0 || r.be.UsedBy(1) != 0 {
+		t.Error("graph memory not released")
+	}
+	s := g.Stats()
+	if s.TmemHits == 0 {
+		t.Errorf("random gather produced no tmem refaults: %+v", s)
+	}
+}
+
+func TestGraphAnalyticsStops(t *testing.T) {
+	r := newWrig(0)
+	stop := &Flag{}
+	stop.Set() // pre-stopped: workload must return immediately
+	w := GraphAnalytics{GraphBytes: 64 * mem.MiB, Iterations: 5, TouchesPerPagePerIter: 1}
+	r.k.Spawn("ga", func(p *sim.Proc) {
+		w.Run(r.ctx(p, 32*mem.MiB, stop, nil))
+	})
+	end := r.k.Run()
+	if end != 0 {
+		t.Errorf("stopped workload consumed time: %v", end)
+	}
+	if len(r.runs) != 0 {
+		t.Errorf("stopped workload reported runs: %v", r.runs)
+	}
+}
+
+func TestSequenceRunsStepsWithIdle(t *testing.T) {
+	r := newWrig(0)
+	seq := Sequence{Steps: []SequenceStep{
+		{W: InMemoryAnalytics{Label: "run1", DatasetBytes: 4 * mem.MiB, Passes: 1}, IdleAfter: 5 * sim.Second},
+		{W: InMemoryAnalytics{Label: "run2", DatasetBytes: 4 * mem.MiB, Passes: 1}},
+	}}
+	if !strings.Contains(seq.Name(), "in-memory-analytics") {
+		t.Errorf("sequence name = %q", seq.Name())
+	}
+	var end sim.Time
+	r.k.Spawn("seq", func(p *sim.Proc) {
+		seq.Run(r.ctx(p, 64*mem.MiB, nil, nil))
+		end = p.Now()
+	})
+	r.k.Run()
+	if len(r.runs) != 2 || r.runs[0] != "run1" || r.runs[1] != "run2" {
+		t.Errorf("runs = %v", r.runs)
+	}
+	if end < sim.Time(5*sim.Second) {
+		t.Errorf("idle gap not respected: end = %v", end)
+	}
+	if (Sequence{}).Name() != "empty-sequence" {
+		t.Error("empty sequence name")
+	}
+}
+
+func TestFlagSemantics(t *testing.T) {
+	var nilFlag *Flag
+	if nilFlag.Stopped() {
+		t.Error("nil flag reports stopped")
+	}
+	f := &Flag{}
+	if f.Stopped() {
+		t.Error("fresh flag stopped")
+	}
+	f.Set()
+	if !f.Stopped() {
+		t.Error("set flag not stopped")
+	}
+}
+
+// --- datagen tests ---
+
+func TestRMATShape(t *testing.T) {
+	rng := sim.NewRNG(5)
+	g := RMAT(rng, 10, 8)
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() != 8*1024 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	// CSR integrity: offsets monotone, all destinations in range.
+	for v := 0; v < g.N; v++ {
+		if g.Off[v+1] < g.Off[v] {
+			t.Fatal("offsets not monotone")
+		}
+	}
+	for _, d := range g.Dst {
+		if d < 0 || d >= g.N {
+			t.Fatalf("destination %d out of range", d)
+		}
+	}
+	// Scale-free skew: the max out-degree should far exceed the mean.
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 4*8 {
+		t.Errorf("max degree %d shows no skew (mean 8)", maxDeg)
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, fn := range []func(){
+		func() { RMAT(rng, 0, 8) },
+		func() { RMAT(rng, 30, 8) },
+		func() { RMAT(rng, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RMAT did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPageRankConverges(t *testing.T) {
+	rng := sim.NewRNG(9)
+	g := RMAT(rng, 8, 8)
+	ranks := PageRank(g, 20, 0.85)
+	sum := 0.0
+	for _, r := range ranks {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("rank sum = %v, want 1", sum)
+	}
+	// More iterations change little once converged.
+	ranks2 := PageRank(g, 60, 0.85)
+	var diff float64
+	for i := range ranks {
+		diff += math.Abs(ranks[i] - ranks2[i])
+	}
+	if diff > 0.05 {
+		t.Errorf("ranks far from fixpoint: L1 diff %v", diff)
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g := &Graph{N: 2, Off: []int{0, 1, 1}, Dst: []int{1}}
+	for _, fn := range []func(){
+		func() { PageRank(g, 0, 0.85) },
+		func() { PageRank(g, 5, 0) },
+		func() { PageRank(g, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid PageRank did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMovieLensShaped(t *testing.T) {
+	rng := sim.NewRNG(4)
+	r := MovieLensShaped(rng, 500, 200, 10000)
+	if len(r.Value) != 10000 {
+		t.Fatalf("ratings = %d", len(r.Value))
+	}
+	counts := make([]int, r.Items)
+	for i := range r.Value {
+		if r.User[i] < 0 || r.User[i] >= r.Users || r.Item[i] < 0 || r.Item[i] >= r.Items {
+			t.Fatal("index out of range")
+		}
+		if r.Value[i] < 0.5 || r.Value[i] > 5.0 {
+			t.Fatalf("rating %v out of range", r.Value[i])
+		}
+		counts[r.Item[i]]++
+	}
+	// Popularity skew: the top decile of items receives the majority of
+	// ratings.
+	top := 0
+	for i := 0; i < r.Items/10; i++ {
+		top += counts[i]
+	}
+	if top < 5000 {
+		t.Errorf("top-decile items got %d/10000 ratings; expected skew", top)
+	}
+}
+
+func TestMiniALSImprovesRMSE(t *testing.T) {
+	rng := sim.NewRNG(11)
+	r := MovieLensShaped(rng, 200, 100, 5000)
+	early := MiniALS(r, 8, 1, sim.NewRNG(2))
+	late := MiniALS(r, 8, 15, sim.NewRNG(2))
+	if late >= early {
+		t.Errorf("RMSE did not improve: %v -> %v", early, late)
+	}
+	if late > 2.5 {
+		t.Errorf("final RMSE %v implausibly high", late)
+	}
+}
+
+func TestDatagenValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	r := MovieLensShaped(rng, 10, 10, 10)
+	for _, fn := range []func(){
+		func() { MovieLensShaped(rng, 0, 1, 1) },
+		func() { MiniALS(r, 0, 1, rng) },
+		func() { MiniALS(r, 4, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid datagen call did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

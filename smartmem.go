@@ -1,0 +1,224 @@
+// Package smartmem is a reproduction of "SmarTmem: Intelligent Management
+// of Transcendent Memory in a Virtualized Server" (Garrido Platero,
+// Nishtala, Carpenter — IPPS/IPDPS Workshops 2019) as a self-contained Go
+// library.
+//
+// It provides, from the bottom up:
+//
+//   - a Transcendent Memory (tmem) key–value backend with per-VM capacity
+//     accounting and target enforcement (paper Algorithm 1),
+//   - a guest-kernel model with frontswap/cleancache hooks, an LRU PFRA
+//     and a queued virtual-disk model, driven by a deterministic
+//     discrete-event simulator,
+//   - the TKM statistics relay with in-process and real socket transports,
+//   - the four management policies: greedy, static-alloc (Algorithm 2),
+//     reconf-static (Algorithm 3) and smart-alloc (Algorithm 4), and
+//   - the paper's complete evaluation: the Table II scenarios and runners
+//     regenerating every figure (3–10) and table (I–II).
+//
+// # Quick start
+//
+//	res, err := smartmem.Run(smartmem.Config{
+//		TmemBytes:   smartmem.GiB,
+//		TmemEnabled: true,
+//		Policy:      smartmem.SmartAlloc{P: 2},
+//		Seed:        1,
+//		VMs: []smartmem.VMSpec{{
+//			ID: 1, Name: "VM1", RAMBytes: 512 * smartmem.MiB,
+//			Workload: smartmem.Usemem(),
+//		}},
+//	})
+//
+// or rerun a paper scenario:
+//
+//	table, err := smartmem.ScenarioTimes("s2", nil, nil)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package smartmem
+
+import (
+	"io"
+
+	"smartmem/internal/core"
+	"smartmem/internal/experiments"
+	"smartmem/internal/mem"
+	"smartmem/internal/metrics"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/workload"
+)
+
+// Size units for configuration.
+const (
+	KiB = mem.KiB
+	MiB = mem.MiB
+	GiB = mem.GiB
+)
+
+// Bytes is a byte count (capacities, footprints).
+type Bytes = mem.Bytes
+
+// Pages is a page count (targets, tmem accounting).
+type Pages = mem.Pages
+
+// Duration is virtual time; time.Millisecond-style constants from package
+// time convert directly.
+type Duration = sim.Duration
+
+// Common virtual durations.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config describes a full virtualized-node run. See core.Config for field
+// documentation.
+type Config = core.Config
+
+// VMSpec describes one virtual machine of a run.
+type VMSpec = core.VMSpec
+
+// Result is the outcome of a node run: per-VM run records, statistics and
+// tmem time series.
+type Result = core.Result
+
+// RunRecord is one completed workload run measurement.
+type RunRecord = core.RunRecord
+
+// Policy computes per-VM tmem capacity targets each sampling interval.
+type Policy = policy.Policy
+
+// The paper's management policies (§III-E).
+type (
+	// Greedy is the hypervisor default: first come, first served.
+	Greedy = policy.Greedy
+	// StaticAlloc divides tmem equally across registered VMs
+	// (Algorithm 2).
+	StaticAlloc = policy.StaticAlloc
+	// ReconfStatic divides tmem equally across VMs that have used it
+	// (Algorithm 3).
+	ReconfStatic = policy.ReconfStatic
+	// SmartAlloc adapts per-VM targets to demand (Algorithm 4).
+	SmartAlloc = policy.SmartAlloc
+)
+
+// Workload is an application model runnable inside a VM.
+type Workload = workload.Workload
+
+// Run executes one simulated node run.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// ParsePolicy builds a policy from its command-line spec, e.g. "greedy",
+// "static-alloc", "reconf-static", "smart-alloc:P=0.75".
+func ParsePolicy(spec string) (Policy, error) { return policy.Parse(spec) }
+
+// Usemem returns the paper's usemem micro-benchmark with default
+// parameters (128 MiB steps up to 1 GiB, §IV).
+func Usemem() Workload { return workload.DefaultUsemem() }
+
+// InMemoryAnalytics is the CloudSuite in-memory-analytics model.
+type InMemoryAnalytics = workload.InMemoryAnalytics
+
+// GraphAnalytics is the CloudSuite graph-analytics model.
+type GraphAnalytics = workload.GraphAnalytics
+
+// UsememWorkload is the usemem micro-benchmark with explicit parameters.
+type UsememWorkload = workload.Usemem
+
+// WorkloadSequence runs several workloads back to back with idle gaps.
+type WorkloadSequence = workload.Sequence
+
+// SequenceStep is one element of a WorkloadSequence.
+type SequenceStep = workload.SequenceStep
+
+// Summary aggregates repeated measurements (mean, sample std, min, max).
+type Summary = metrics.Summary
+
+// RNG is the deterministic random number generator used throughout the
+// simulator; derive independent streams with Split.
+type RNG = sim.RNG
+
+// NewRNG seeds a deterministic generator.
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// Graph is a directed graph in compressed adjacency form, as produced by
+// RMAT.
+type Graph = workload.Graph
+
+// Ratings is a sparse MovieLens-shaped rating matrix.
+type Ratings = workload.Ratings
+
+// RMAT generates a scale-free directed graph (2^scale vertices,
+// ~edgeFactor·2^scale edges) shaped like the paper's soc-twitter-follows
+// dataset.
+func RMAT(rng *RNG, scale, edgeFactor int) *Graph { return workload.RMAT(rng, scale, edgeFactor) }
+
+// PageRank runs power iterations over g — the computation the
+// GraphAnalytics model stands in for.
+func PageRank(g *Graph, iters int, damping float64) []float64 {
+	return workload.PageRank(g, iters, damping)
+}
+
+// MovieLensShaped synthesizes a ratings matrix with MovieLens-like
+// popularity skew.
+func MovieLensShaped(rng *RNG, users, items, nRatings int) *Ratings {
+	return workload.MovieLensShaped(rng, users, items, nRatings)
+}
+
+// MiniALS runs simplified alternating-least-squares rounds over r and
+// returns the final RMSE — the computation the InMemoryAnalytics model
+// stands in for.
+func MiniALS(r *Ratings, k, iters int, rng *RNG) float64 {
+	return workload.MiniALS(r, k, iters, rng)
+}
+
+// Scenario is one of the paper's Table II benchmark scenarios.
+type Scenario = experiments.Scenario
+
+// Scenarios lists the paper's four scenarios in Table II order.
+func Scenarios() []*Scenario { return experiments.Scenarios }
+
+// ScenarioBySlug resolves "s1", "s2", "usemem" or "s3".
+func ScenarioBySlug(slug string) (*Scenario, error) { return experiments.BySlug(slug) }
+
+// RunScenario executes one (scenario, policy, seed) combination. The
+// policy spec additionally accepts "no-tmem".
+func RunScenario(slug, policySpec string, seed uint64) (*Result, error) {
+	s, err := experiments.BySlug(slug)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunOne(s, policySpec, seed)
+}
+
+// ScenarioTimes reruns a scenario across policies and seeds and aggregates
+// the per-VM running times (the data behind the paper's Figures 3, 5, 7
+// and 9). Nil policies/seeds select the scenario's paper configuration and
+// the default five seeds.
+func ScenarioTimes(slug string, policies []string, seeds []uint64) (*experiments.TimesTable, error) {
+	s, err := experiments.BySlug(slug)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.Times(s, policies, seeds)
+}
+
+// WriteScenarioTimes renders a times table as fixed-width text.
+func WriteScenarioTimes(w io.Writer, t *experiments.TimesTable) error {
+	return experiments.TimesReport(t).Render(w)
+}
+
+// WriteScenarioSeries runs one (scenario, policy, seed) combination and
+// renders its tmem-usage-over-time chart (the paper's Figures 4, 6, 8, 10).
+func WriteScenarioSeries(w io.Writer, slug, policySpec string, seed uint64) error {
+	s, err := experiments.BySlug(slug)
+	if err != nil {
+		return err
+	}
+	sr, err := experiments.Series(s, policySpec, seed)
+	if err != nil {
+		return err
+	}
+	return experiments.RenderSeries(w, sr)
+}
