@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Quick engine benchmarks (one iteration each); the full figure benches
+# live in bench_test.go.
+bench:
+	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -run '^$$' .
+
+# Regenerate every paper figure and table with all CPUs.
+report:
+	$(GO) run ./cmd/smartmem-report
+
+clean:
+	$(GO) clean ./...

@@ -48,8 +48,15 @@ func TestPublicPolicies(t *testing.T) {
 }
 
 func TestPublicScenarios(t *testing.T) {
-	if len(smartmem.Scenarios()) != 4 {
-		t.Fatalf("scenario count = %d", len(smartmem.Scenarios()))
+	if got := len(smartmem.PaperScenarios()); got != 4 {
+		t.Fatalf("paper scenario count = %d", got)
+	}
+	// The registry additionally carries the scale/churn extensions.
+	if got, want := len(smartmem.Scenarios()), 6; got < want {
+		t.Fatalf("registered scenario count = %d, want >= %d", got, want)
+	}
+	if _, err := smartmem.ScenarioBySlug("scale-4"); err != nil {
+		t.Errorf("parameterized scale-4 lookup: %v", err)
 	}
 	s, err := smartmem.ScenarioBySlug("usemem")
 	if err != nil || s.Name != "Usemem Scenario" {

@@ -12,6 +12,7 @@ package smartmem_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"smartmem"
@@ -147,7 +148,7 @@ func BenchmarkTableI_StatisticsSampling(b *testing.B) {
 // assembly for every Table II row).
 func BenchmarkTableII_ScenarioBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, s := range experiments.Scenarios {
+		for _, s := range experiments.All() {
 			if _, err := s.Build(uint64(i), "greedy"); err != nil {
 				b.Fatal(err)
 			}
@@ -307,5 +308,56 @@ func BenchmarkPublicAPI_RunScenario(b *testing.B) {
 		if _, err := smartmem.RunScenario("usemem", "smart-alloc:P=2", 11); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Experiment engine ---
+
+// BenchmarkEngine_TimesSweep measures a full times sweep (4 policies × 5
+// seeds of the usemem scenario) at increasing parallelism. The sub-bench
+// ratio is the engine's wall-clock speedup; outputs are identical across
+// parallelism levels by construction.
+func BenchmarkEngine_TimesSweep(b *testing.B) {
+	scn, err := experiments.BySlug("usemem")
+	if err != nil {
+		b.Fatal(err)
+	}
+	policies := []string{"greedy", "static-alloc", "reconf-static", "smart-alloc:P=2"}
+	levels := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		levels = append(levels, n)
+	}
+	for _, par := range levels {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := experiments.TimesOpts(scn, policies, nil, experiments.Options{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngine_ScaleScenario measures engine throughput on the
+// scale-<n> family as the VM count grows.
+func BenchmarkEngine_ScaleScenario(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("vms-%d", n), func(b *testing.B) {
+			scn, err := experiments.BySlug(fmt.Sprintf("scale-%d", n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.RunMatrix([]*experiments.Scenario{scn},
+					[]string{"greedy", "smart-alloc:P=2"}, benchSeeds, experiments.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != 2 {
+					b.Fatalf("results = %d", len(results))
+				}
+			}
+		})
 	}
 }

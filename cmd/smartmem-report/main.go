@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	smartmem-report                 # everything, 5 seeds (minutes)
+//	smartmem-report                 # everything, 5 seeds, all CPUs
 //	smartmem-report -fig 5 -seeds 2 # one figure, quicker
+//	smartmem-report -parallel 1     # sequential (same output, slower)
 //	smartmem-report -out results/   # also write CSVs
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"smartmem/internal/experiments"
@@ -42,18 +44,24 @@ var figures = []figureSpec{
 
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "regenerate a single figure (3–10); 0 = all")
-		table   = flag.Int("table", 0, "print a single table (1 or 2); 0 = all")
-		nSeeds  = flag.Int("seeds", 5, "repetitions per (scenario, policy)")
-		seed    = flag.Uint64("seed", 11, "seed for series figures")
-		outDir  = flag.String("out", "", "directory for CSV output (optional)")
-		figOnly = flag.Bool("figures-only", false, "skip tables")
+		fig      = flag.Int("fig", 0, "regenerate a single figure (3–10); 0 = all")
+		table    = flag.Int("table", 0, "print a single table (1 or 2); 0 = all")
+		nSeeds   = flag.Int("seeds", 5, "repetitions per (scenario, policy)")
+		seed     = flag.Uint64("seed", 11, "seed for series figures")
+		outDir   = flag.String("out", "", "directory for CSV output (optional)")
+		figOnly  = flag.Bool("figures-only", false, "skip tables")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
+		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
 	)
 	flag.Parse()
 
 	seeds := experiments.DefaultSeeds
 	if *nSeeds < len(seeds) && *nSeeds > 0 {
 		seeds = seeds[:*nSeeds]
+	}
+	opt := experiments.Options{Parallelism: *parallel}
+	if !*quiet {
+		opt.OnProgress = liveProgress
 	}
 
 	if !*figOnly && (*fig == 0 || *table != 0) {
@@ -78,7 +86,7 @@ func main() {
 		switch fs.kind {
 		case "times":
 			fmt.Printf("=== Figure %d: %s running times ===\n", fs.fig, scn.Name)
-			tab, err := experiments.Times(scn, nil, seeds)
+			tab, err := experiments.TimesOpts(scn, nil, seeds, opt)
 			must(err)
 			must(experiments.TimesReport(tab).Render(os.Stdout))
 			fmt.Println()
@@ -87,16 +95,25 @@ func main() {
 			}
 		case "series":
 			fmt.Printf("=== Figure %d: %s tmem usage over time ===\n", fs.fig, scn.Name)
-			for _, pol := range fs.policies {
-				sr, err := experiments.Series(scn, pol, *seed)
-				must(err)
+			runs, err := experiments.SeriesSet(scn, fs.policies, *seed, opt)
+			must(err)
+			for i, sr := range runs {
 				must(experiments.RenderSeries(os.Stdout, sr))
 				fmt.Println()
 				if *outDir != "" {
-					writeSeriesCSV(*outDir, fs.fig, pol, sr)
+					writeSeriesCSV(*outDir, fs.fig, fs.policies[i], sr)
 				}
 			}
 		}
+	}
+}
+
+// liveProgress writes a self-overwriting job counter to stderr while a
+// sweep runs, ending the line when the sweep completes.
+func liveProgress(done, total int, j experiments.Job) {
+	fmt.Fprintf(os.Stderr, "\r  [%d/%d] %-48s", done, total, j.String())
+	if done == total {
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

@@ -1,35 +1,79 @@
 // Command smartmem-sim runs one SmarTmem scenario under one policy and
 // prints per-VM running times, memory-management statistics and,
-// optionally, the tmem-usage chart and CSV series.
+// optionally, the tmem-usage chart and CSV series. With -times it instead
+// sweeps every (policy, seed) combination of the scenario concurrently and
+// prints the aggregated running-times table.
 //
 // Usage:
 //
 //	smartmem-sim -scenario s2 -policy smart-alloc:P=6 -seed 11 -chart
 //	smartmem-sim -scenario usemem -policy greedy -csv series.csv
+//	smartmem-sim -scenario scale-12 -times -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"smartmem"
+	"smartmem/internal/experiments"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3")
+		scenario = flag.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3, scale-<n>, churn")
 		policy   = flag.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
 		seed     = flag.Uint64("seed", 11, "random seed")
 		chart    = flag.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
 		csvPath  = flag.String("csv", "", "write the tmem time series as CSV to this file")
-		list     = flag.Bool("list", false, "list scenarios and exit")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		times    = flag.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
+		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, s := range smartmem.Scenarios() {
-			fmt.Printf("%-8s %-16s tmem=%-8s %s\n", s.Slug, s.Name, s.TmemBytes, s.Description)
+		if err := experiments.RegistryTable().Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *times {
+		// Honor -policy / -seed only when the user set them explicitly;
+		// otherwise sweep the scenario's own policy list and the default
+		// five seeds.
+		var policies []string
+		var seeds []uint64
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policy":
+				policies = []string{*policy}
+			case "seed":
+				seeds = []uint64{*seed}
+			}
+		})
+		opt := smartmem.ExperimentOptions{Parallelism: *parallel}
+		if !*quiet {
+			opt.OnProgress = func(done, total int, j smartmem.ExperimentJob) {
+				fmt.Fprintf(os.Stderr, "\r[%d/%d] %-48s", done, total, j.String())
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		tab, err := smartmem.ScenarioTimesOpts(*scenario, policies, seeds, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+			os.Exit(1)
+		}
+		if err := smartmem.WriteScenarioTimes(os.Stdout, tab); err != nil {
+			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,3 @@
+module smartmem
+
+go 1.24

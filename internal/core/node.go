@@ -110,9 +110,9 @@ func Run(cfg Config) (*Result, error) {
 	for i, spec := range cfg.VMs {
 		spec := spec
 		g := guest.NewKernel(guest.Config{
-			VM:            spec.ID,
-			RAMPages:      mem.PagesIn(spec.RAMBytes, cfg.PageSize),
-			KernelReserve: cfg.kernelReserve(spec),
+			VM:               spec.ID,
+			RAMPages:         mem.PagesIn(spec.RAMBytes, cfg.PageSize),
+			KernelReserve:    cfg.kernelReserve(spec),
 			Backend:          backend,
 			Frontswap:        backend != nil,
 			Cleancache:       backend != nil && cfg.Cleancache,
@@ -231,12 +231,12 @@ func recordSeries(set *metrics.Set, now sim.Time, ms tmem.MemStats, cfg Config) 
 		if !ok {
 			name = fmt.Sprintf("vm%d", v.ID)
 		}
-		set.Get("tmem-" + name).Add(t, float64(v.TmemUsed))
+		set.Get("tmem-"+name).Add(t, float64(v.TmemUsed))
 		tgt := v.MMTarget
 		if tgt == tmem.Unlimited {
 			tgt = ms.TotalTmem // plot greedy's "no limit" as the whole pool
 		}
-		set.Get("target-" + name).Add(t, float64(tgt))
+		set.Get("target-"+name).Add(t, float64(tgt))
 	}
 	set.Get("free-tmem").Add(t, float64(ms.FreeTmem))
 }

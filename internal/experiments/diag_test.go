@@ -13,7 +13,7 @@ func TestDiagScenarioShapes(t *testing.T) {
 		t.Skip("diagnostic; set SMARTMEM_DIAG=1 to run")
 	}
 	only := os.Getenv("SMARTMEM_DIAG_SCN")
-	for _, s := range Scenarios {
+	for _, s := range All() {
 		if only != "" && s.Slug != only {
 			continue
 		}

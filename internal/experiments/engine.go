@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smartmem/internal/core"
+)
+
+// Job is one (scenario, policy, seed) cell of an experiment sweep — the
+// unit of work the engine schedules. Every figure and table of the paper's
+// evaluation decomposes into a list of Jobs.
+type Job struct {
+	Scenario   *Scenario
+	PolicySpec string
+	Seed       uint64
+}
+
+func (j Job) String() string {
+	slug := "?"
+	if j.Scenario != nil {
+		slug = j.Scenario.Slug
+	}
+	return fmt.Sprintf("%s/%s seed %d", slug, j.PolicySpec, j.Seed)
+}
+
+// JobResult pairs a job with its outcome. Index is the job's position in
+// the submitted slice; the engine returns results merged by index, never by
+// completion order, so parallel sweeps aggregate identically to sequential
+// ones.
+type JobResult struct {
+	Job    Job
+	Index  int
+	Result *core.Result
+	Err    error
+}
+
+// ErrSkipped marks jobs that were never dispatched because an earlier job
+// failed (fail-fast) or the caller's context was cancelled. Test with
+// errors.Is on JobResult.Err to distinguish skipped jobs from failed ones
+// in a partial result set.
+var ErrSkipped = errors.New("experiments: job skipped after earlier failure or cancellation")
+
+// Engine executes experiment jobs on a fixed-size worker pool. The zero
+// value is usable: it runs with runtime.NumCPU() workers and no progress
+// reporting. Each job is an independent core.Run with its own simulation
+// kernel and RNG streams, so jobs are race-free by construction (verified
+// by go test -race).
+type Engine struct {
+	// Parallelism is the number of concurrent workers; values <= 0 select
+	// runtime.NumCPU(). Parallelism 1 reproduces the historical sequential
+	// behaviour exactly.
+	Parallelism int
+	// OnProgress, when non-nil, is invoked after every job completes with
+	// the number of finished jobs, the total, and the job that just
+	// finished. Calls are serialized by the engine; the callback does not
+	// need to be concurrency-safe.
+	OnProgress func(done, total int, j Job)
+}
+
+// workers returns the effective pool size for n jobs.
+func (e *Engine) workers(n int) int {
+	w := e.Parallelism
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes jobs concurrently and returns one JobResult per job, in job
+// order. The first job error cancels all not-yet-started jobs (fail-fast)
+// and is returned; results for skipped jobs carry errSkipped. A nil ctx
+// means context.Background(); cancelling ctx stops dispatch after in-flight
+// jobs finish.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]JobResult, len(jobs))
+	for i := range results {
+		results[i] = JobResult{Job: jobs[i], Index: i, Err: ErrSkipped}
+	}
+
+	var (
+		mu      sync.Mutex
+		done    int
+		jobErr  error // first real failure, lowest job index wins
+		jobIdx  = len(jobs)
+		wg      sync.WaitGroup
+		indexes = make(chan int)
+	)
+
+	// Feeder: hands out job indexes until done or cancelled.
+	go func() {
+		defer close(indexes)
+		for i := range jobs {
+			select {
+			case indexes <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < e.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range indexes {
+				jr := JobResult{Job: jobs[idx], Index: idx}
+				jr.Result, jr.Err = RunOne(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed)
+				results[idx] = jr
+
+				mu.Lock()
+				done++
+				if jr.Err != nil {
+					if idx < jobIdx {
+						jobErr, jobIdx = jr.Err, idx
+					}
+					cancel() // fail fast: stop dispatching further jobs
+				}
+				if e.OnProgress != nil {
+					e.OnProgress(done, len(jobs), jobs[idx])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if jobErr != nil {
+		return results, jobErr
+	}
+	if err := ctx.Err(); err != nil && done < len(jobs) {
+		return results, err
+	}
+	return results, nil
+}
+
+// Matrix expands scenarios × policies × seeds into a job list in
+// deterministic order: scenario-major, then policy, then seed. A nil
+// policies slice selects each scenario's own policy list; a nil seeds
+// slice selects DefaultSeeds. This ordering matches the historical
+// sequential sweep loops, which keeps parallel aggregation byte-identical.
+func Matrix(scenarios []*Scenario, policies []string, seeds []uint64) []Job {
+	if seeds == nil {
+		seeds = DefaultSeeds
+	}
+	var jobs []Job
+	for _, s := range scenarios {
+		pols := policies
+		if pols == nil {
+			pols = s.Policies
+		}
+		for _, pol := range pols {
+			for _, seed := range seeds {
+				jobs = append(jobs, Job{Scenario: s, PolicySpec: pol, Seed: seed})
+			}
+		}
+	}
+	return jobs
+}
+
+// Options configure a parallel experiment sweep (Times, SeriesSet,
+// RunMatrix). The zero value runs with runtime.NumCPU() workers, no
+// cancellation and no progress output.
+type Options struct {
+	// Parallelism is the worker-pool size; <= 0 selects runtime.NumCPU().
+	Parallelism int
+	// Context, when non-nil, cancels the sweep early.
+	Context context.Context
+	// OnProgress receives per-job completion callbacks (serialized).
+	OnProgress func(done, total int, j Job)
+}
+
+func (o Options) engine() *Engine {
+	return &Engine{Parallelism: o.Parallelism, OnProgress: o.OnProgress}
+}
+
+// RunMatrix executes every (scenario, policy, seed) combination on the
+// worker pool and returns results in matrix order.
+func RunMatrix(scenarios []*Scenario, policies []string, seeds []uint64, opt Options) ([]JobResult, error) {
+	return opt.engine().Run(opt.Context, Matrix(scenarios, policies, seeds))
+}

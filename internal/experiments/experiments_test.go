@@ -12,10 +12,10 @@ import (
 // TestTableII_ScenarioRegistry checks the scenario registry against the
 // paper's Table II.
 func TestTableII_ScenarioRegistry(t *testing.T) {
-	if len(Scenarios) != 4 {
-		t.Fatalf("scenario count = %d, want 4", len(Scenarios))
+	if got := len(PaperScenarios()); got != 4 {
+		t.Fatalf("paper scenario count = %d, want 4", got)
 	}
-	for _, s := range Scenarios {
+	for _, s := range PaperScenarios() {
 		cfg, err := s.Build(1, "greedy")
 		if err != nil {
 			t.Fatalf("%s: %v", s.Slug, err)
@@ -54,7 +54,7 @@ func TestTableII_ScenarioRegistry(t *testing.T) {
 		t.Errorf("Scenario 3 VM3 = %+v", cfg.VMs[2])
 	}
 	// Slug lookup.
-	for _, s := range Scenarios {
+	for _, s := range All() {
 		got, err := BySlug(s.Slug)
 		if err != nil || got != s {
 			t.Errorf("BySlug(%q) = %v, %v", s.Slug, got, err)

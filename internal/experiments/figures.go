@@ -50,14 +50,35 @@ func RenderSeries(w io.Writer, sr *SeriesRun) error {
 	return c.Render(w, set, names)
 }
 
-// ScenarioTable renders Table II: the scenario registry.
+// ScenarioTable renders Table II: the paper's benchmarking scenarios.
 func ScenarioTable() *report.Table {
 	tb := &report.Table{
 		Title:   "Table II — List of scenarios used for benchmarking (3 VMs each)",
 		Headers: []string{"scenario", "tmem", "policies", "description"},
 	}
-	for _, s := range Scenarios {
+	for _, s := range PaperScenarios() {
 		tb.AddRow(s.Name, s.TmemBytes.String(), fmt.Sprintf("%d", len(s.Policies)), s.Description)
+	}
+	return tb
+}
+
+// RegistryTable renders the full scenario registry — paper scenarios,
+// extensions, and any user registrations — plus the parameterized slug
+// families (constructors).
+func RegistryTable() *report.Table {
+	tb := &report.Table{
+		Title:   "Scenario registry",
+		Headers: []string{"slug", "name", "tmem", "paper", "description"},
+	}
+	for _, s := range All() {
+		paper := ""
+		if s.Paper {
+			paper = "yes"
+		}
+		tb.AddRow(s.Slug, s.Name, s.TmemBytes.String(), paper, s.Description)
+	}
+	for _, c := range Constructors() {
+		tb.AddRow(c.Usage, "(parameterized)", "", "", c.Description)
 	}
 	return tb
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The scenario registry. Scenarios register once (package init for the
+// built-ins, Register for user scenarios) and are resolved by slug; a
+// Constructor additionally matches whole slug families ("scale-<n>") and
+// builds parameterized instances on demand. The registry is safe for
+// concurrent use so engine sweeps and user code can resolve scenarios from
+// any goroutine.
+var registry = struct {
+	sync.RWMutex
+	order  []string             // registration order, for All
+	bySlug map[string]*Scenario // registered + memoized constructed scenarios
+	ctors  []Constructor
+}{bySlug: make(map[string]*Scenario)}
+
+// Constructor builds scenarios for a parameterized slug family, e.g.
+// "scale-<n>" → a scale scenario with n VMs. BySlug consults constructors
+// after exact-slug lookup fails.
+type Constructor struct {
+	// Prefix is the slug prefix the constructor claims ("scale-").
+	Prefix string
+	// Usage documents the slug syntax ("scale-<n>").
+	Usage string
+	// Description is a one-line summary for listings.
+	Description string
+	// Build parses the full slug and returns the scenario (or an error for
+	// malformed parameters).
+	Build func(slug string) (*Scenario, error)
+}
+
+// Register adds a scenario to the registry. It panics on an empty slug or a
+// duplicate registration — both are programming errors in an init path.
+func Register(s *Scenario) {
+	if s == nil || s.Slug == "" {
+		panic("experiments: Register with nil scenario or empty slug")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.bySlug[s.Slug]; dup {
+		panic(fmt.Sprintf("experiments: duplicate scenario slug %q", s.Slug))
+	}
+	registry.bySlug[s.Slug] = s
+	registry.order = append(registry.order, s.Slug)
+}
+
+// RegisterConstructor adds a parameterized slug-family constructor.
+func RegisterConstructor(c Constructor) {
+	if c.Prefix == "" || c.Build == nil {
+		panic("experiments: RegisterConstructor with empty prefix or nil Build")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	registry.ctors = append(registry.ctors, c)
+}
+
+// All returns every registered scenario in registration order (paper
+// scenarios first, then the scale/churn extensions, then user
+// registrations). Constructed-on-demand scenarios are not listed.
+func All() []*Scenario {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Scenario, 0, len(registry.order))
+	for _, slug := range registry.order {
+		out = append(out, registry.bySlug[slug])
+	}
+	return out
+}
+
+// PaperScenarios returns the paper's four Table II scenarios in paper
+// order.
+func PaperScenarios() []*Scenario {
+	var out []*Scenario
+	for _, s := range All() {
+		if s.Paper {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Constructors returns the registered slug-family constructors, sorted by
+// prefix, for listings.
+func Constructors() []Constructor {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := append([]Constructor(nil), registry.ctors...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out
+}
+
+// BySlug resolves a scenario by slug. Exact registrations win; otherwise
+// the first constructor whose prefix matches builds the scenario, which is
+// then memoized so repeated lookups return the same *Scenario.
+func BySlug(slug string) (*Scenario, error) {
+	registry.RLock()
+	s, ok := registry.bySlug[slug]
+	ctors := registry.ctors
+	registry.RUnlock()
+	if ok {
+		return s, nil
+	}
+	for _, c := range ctors {
+		if len(slug) > len(c.Prefix) && slug[:len(c.Prefix)] == c.Prefix {
+			built, err := c.Build(slug)
+			if err != nil {
+				return nil, err
+			}
+			registry.Lock()
+			// Another goroutine may have built it concurrently; keep the
+			// first instance so pointer identity is stable.
+			if prev, ok := registry.bySlug[slug]; ok {
+				built = prev
+			} else {
+				registry.bySlug[slug] = built
+			}
+			registry.Unlock()
+			return built, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown scenario %q", slug)
+}
+
+func init() {
+	// Paper scenarios first (Table II order), then the scale extensions.
+	Register(Scenario1)
+	Register(Scenario2)
+	Register(UsememScenario)
+	Register(Scenario3)
+	RegisterConstructor(scaleConstructor)
+	Register(mustScale("scale-6"))
+	Register(ChurnScenario)
+}

@@ -69,36 +69,45 @@ func (t *TimesTable) Speedup(vm, label, a, b string) (float64, error) {
 	return metrics.Speedup(sa, sb), nil
 }
 
-// Times runs the scenario for every (policy, seed) combination and
-// aggregates running times. policies defaults to the scenario's own list;
-// seeds defaults to DefaultSeeds.
+// Times runs the scenario for every (policy, seed) combination on the
+// worker-pool engine and aggregates running times. policies defaults to
+// the scenario's own list; seeds defaults to DefaultSeeds. Execution is
+// parallel (runtime.NumCPU() workers) but results merge in job order, so
+// the table is identical to a sequential sweep; use TimesOpts to control
+// parallelism, cancellation and progress reporting.
 func Times(s *Scenario, policies []string, seeds []uint64) (*TimesTable, error) {
+	return TimesOpts(s, policies, seeds, Options{})
+}
+
+// TimesOpts is Times with explicit execution options.
+func TimesOpts(s *Scenario, policies []string, seeds []uint64, opt Options) (*TimesTable, error) {
 	if policies == nil {
 		policies = s.Policies
 	}
 	if seeds == nil {
 		seeds = DefaultSeeds
 	}
+	results, err := RunMatrix([]*Scenario{s}, policies, seeds, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate strictly in job (policy-major, seed-minor) order — the
+	// same order the historical sequential loop used — so parallel and
+	// sequential sweeps produce byte-identical tables.
 	type key struct{ vm, label string }
 	acc := make(map[key]map[string][]float64)
 	var order []key
-
-	for _, pol := range policies {
-		for _, seed := range seeds {
-			res, err := RunOne(s, pol, seed)
-			if err != nil {
-				return nil, err
+	for _, jr := range results {
+		for _, run := range jr.Result.Runs {
+			k := key{run.VM, run.Label}
+			m, ok := acc[k]
+			if !ok {
+				m = make(map[string][]float64)
+				acc[k] = m
+				order = append(order, k)
 			}
-			for _, run := range res.Runs {
-				k := key{run.VM, run.Label}
-				m, ok := acc[k]
-				if !ok {
-					m = make(map[string][]float64)
-					acc[k] = m
-					order = append(order, k)
-				}
-				m[pol] = append(m[pol], run.Duration().Seconds())
-			}
+			m[jr.Job.PolicySpec] = append(m[jr.Job.PolicySpec], run.Duration().Seconds())
 		}
 	}
 
@@ -131,9 +140,28 @@ type SeriesRun struct {
 
 // Series executes one run and returns its usage/target series.
 func Series(s *Scenario, policySpec string, seed uint64) (*SeriesRun, error) {
-	res, err := RunOne(s, policySpec, seed)
+	runs, err := SeriesSet(s, []string{policySpec}, seed, Options{Parallelism: 1})
 	if err != nil {
 		return nil, err
 	}
-	return &SeriesRun{Scenario: s, PolicySpec: policySpec, Seed: seed, Result: res}, nil
+	return runs[0], nil
+}
+
+// SeriesSet runs one scenario under several policies with the same seed on
+// the worker pool and returns the series runs in policy order — the panels
+// of one series figure (e.g. Figure 6's greedy vs smart-alloc pair).
+func SeriesSet(s *Scenario, policies []string, seed uint64, opt Options) ([]*SeriesRun, error) {
+	jobs := make([]Job, len(policies))
+	for i, pol := range policies {
+		jobs[i] = Job{Scenario: s, PolicySpec: pol, Seed: seed}
+	}
+	results, err := opt.engine().Run(opt.Context, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SeriesRun, len(results))
+	for i, jr := range results {
+		out[i] = &SeriesRun{Scenario: s, PolicySpec: jr.Job.PolicySpec, Seed: seed, Result: jr.Result}
+	}
+	return out, nil
 }

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smartmem/internal/core"
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+	"smartmem/internal/workload"
+)
+
+// This file adds the non-paper scenarios that push the harness beyond
+// Table II: the parameterized scale-<n> family (n usemem VMs contending for
+// a deliberately undersized tmem pool) and the churn scenario (analytics
+// and usemem churners mixed on one node). Both register in registry.go and
+// run through the same engine, figures and commands as the paper
+// scenarios.
+
+// scaleVMRAM and friends parameterize the scale-<n> family: every VM is a
+// 512 MiB usemem guest (the paper's usemem-scenario sizing) and the pool
+// provides 128 MiB of tmem per VM — a quarter of each VM's demand, so the
+// pool is always contended no matter how many VMs register.
+const (
+	scaleVMRAM      = 512 * mem.MiB
+	scaleVMReserve  = 140 * mem.MiB
+	scaleTmemPerVM  = 128 * mem.MiB
+	scaleUsememMax  = 512 * mem.MiB
+	scaleMinVMs     = 2
+	scaleMaxVMs     = 64
+	scaleFinalLoops = 2 // full max-size traversals each VM completes
+)
+
+// scalePrefix is the slug prefix of the parameterized scale family.
+const scalePrefix = "scale-"
+
+// scaleConstructor builds scale-<n> scenarios on demand ("scale-12" → 12
+// VMs). Registered in registry.go; "scale-6" is additionally registered as
+// a concrete instance so it shows up in listings.
+var scaleConstructor = Constructor{
+	Prefix:      scalePrefix,
+	Usage:       "scale-<n>",
+	Description: "n usemem VMs (512MiB each) contending for n×128MiB of tmem",
+	Build:       buildScale,
+}
+
+func buildScale(slug string) (*Scenario, error) {
+	n, err := strconv.Atoi(strings.TrimPrefix(slug, scalePrefix))
+	if err != nil || n < scaleMinVMs || n > scaleMaxVMs {
+		return nil, fmt.Errorf("experiments: scale scenario %q: want scale-<n> with %d <= n <= %d",
+			slug, scaleMinVMs, scaleMaxVMs)
+	}
+	return newScaleScenario(n), nil
+}
+
+// mustScale resolves a scale slug for init-time registration.
+func mustScale(slug string) *Scenario {
+	s, err := buildScale(slug)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// newScaleScenario assembles the scale-<n> scenario: n identical usemem
+// VMs launched together. Each VM allocates 128 MiB steps up to 512 MiB and
+// keeps traversing; the run stops once every VM has completed
+// scaleFinalLoops full-size traversals, so runtime is finite while the
+// tail of the run still exercises steady-state contention.
+func newScaleScenario(n int) *Scenario {
+	return &Scenario{
+		Name: fmt.Sprintf("Scale %d", n),
+		Slug: fmt.Sprintf("scale-%d", n),
+		Description: fmt.Sprintf("VM1–VM%d: 512MB RAM running usemem to 512MB "+
+			"simultaneously against %s of tmem (1/4 of aggregate demand); "+
+			"stops after every VM finishes %d full traversals.",
+			n, mem.Bytes(n)*scaleTmemPerVM, scaleFinalLoops),
+		TmemBytes: mem.Bytes(n) * scaleTmemPerVM,
+		Policies: []string{
+			"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+		},
+		TimesFigure:  fmt.Sprintf("Scale-%d", n),
+		SeriesFigure: fmt.Sprintf("Scale-%d series", n),
+		RunLabels: []string{
+			workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+			workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+		},
+		build: func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
+			cfg := baseConfig(seed, pol, tmemOn, mem.Bytes(n)*scaleTmemPerVM)
+			stop := &workload.Flag{}
+			cfg.Stop = stop
+
+			// Stop when every VM has begun its scaleFinalLoops+1'th
+			// max-size traversal, i.e. completed scaleFinalLoops of them.
+			// All milestone callbacks run inside one simulation kernel, so
+			// plain counters are safe.
+			attempts := make(map[string]int, n)
+			doneVMs := 0
+			cfg.OnMilestone = func(vm, label string) {
+				if label != workload.MilestoneLabel(scaleUsememMax) {
+					return
+				}
+				attempts[vm]++
+				if attempts[vm] == scaleFinalLoops+1 {
+					doneVMs++
+					if doneVMs == n {
+						stop.Set()
+					}
+				}
+			}
+
+			u := workload.Usemem{
+				StartBytes: 128 * mem.MiB,
+				StepBytes:  128 * mem.MiB,
+				MaxBytes:   scaleUsememMax,
+				CPUPerPage: 100 * sim.Microsecond,
+			}
+			for i := 1; i <= n; i++ {
+				cfg.VMs = append(cfg.VMs, core.VMSpec{
+					ID:                 tmem.VMID(i),
+					Name:               fmt.Sprintf("VM%d", i),
+					RAMBytes:           scaleVMRAM,
+					KernelReserveBytes: scaleVMReserve,
+					Workload:           u,
+				})
+			}
+			return cfg
+		},
+	}
+}
+
+// notifyWorkload runs its inner workload and then invokes done — the hook
+// the churn scenario uses to stop the open-ended usemem churners once the
+// finite analytics workloads complete.
+type notifyWorkload struct {
+	inner workload.Workload
+	done  func()
+}
+
+// Name implements workload.Workload.
+func (n notifyWorkload) Name() string { return n.inner.Name() }
+
+// Run implements workload.Workload.
+func (n notifyWorkload) Run(ctx *workload.Ctx) {
+	n.inner.Run(ctx)
+	n.done()
+}
+
+// ChurnScenario mixes the paper's two analytics applications with a pair
+// of usemem churners on one node: VM1 (1 GiB) runs in-memory-analytics,
+// VM2 (512 MiB) runs graph-analytics, and VM3/VM4 (512 MiB each) run
+// usemem loops that continuously dirty pages, stressing policy adaptation
+// under competing steady pressure. The run stops when both analytics
+// workloads finish. Not a paper scenario — it probes how each policy
+// shields latency-sensitive work from background churn.
+var ChurnScenario = &Scenario{
+	Name: "Churn",
+	Slug: "churn",
+	Description: "VM1: 1GB RAM running in-memory-analytics; VM2: 512MB RAM " +
+		"running graph-analytics; VM3, VM4: 512MB RAM running usemem churn " +
+		"loops until both analytics workloads complete.",
+	TmemBytes: 768 * mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Churn",
+	SeriesFigure: "Churn series",
+	RunLabels:    []string{"analytics", "graph"},
+	build: func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
+		cfg := baseConfig(seed, pol, tmemOn, 768*mem.MiB)
+		stop := &workload.Flag{}
+		cfg.Stop = stop
+
+		// Both notifyWorkload callbacks run inside one simulation kernel;
+		// a plain counter is safe.
+		finished := 0
+		analyticsDone := func() {
+			finished++
+			if finished == 2 {
+				stop.Set()
+			}
+		}
+
+		cfg.VMs = append(cfg.VMs,
+			core.VMSpec{
+				ID: 1, Name: "VM1", RAMBytes: 1 * mem.GiB,
+				Workload: notifyWorkload{inner: inMemoryAnalytics("analytics"), done: analyticsDone},
+			},
+			core.VMSpec{
+				ID: 2, Name: "VM2", RAMBytes: 512 * mem.MiB,
+				Workload: notifyWorkload{inner: graphAnalytics("graph"), done: analyticsDone},
+			},
+		)
+		churner := workload.Usemem{
+			StartBytes: 128 * mem.MiB,
+			StepBytes:  128 * mem.MiB,
+			MaxBytes:   384 * mem.MiB,
+			CPUPerPage: 100 * sim.Microsecond,
+		}
+		for i := 3; i <= 4; i++ {
+			cfg.VMs = append(cfg.VMs, core.VMSpec{
+				ID:                 tmem.VMID(i),
+				Name:               fmt.Sprintf("VM%d", i),
+				RAMBytes:           512 * mem.MiB,
+				KernelReserveBytes: 140 * mem.MiB,
+				Workload:           churner,
+			})
+		}
+		return cfg
+	},
+}

@@ -1,6 +1,21 @@
-// Package experiments encodes the paper's evaluation (§IV–§V): the four
-// scenarios of Table II, the policy sets of each figure, and runners that
-// regenerate every figure's data (running times and tmem-usage series).
+// Package experiments encodes the paper's evaluation (§IV–§V) and extends
+// it: scenarios live in an extensible registry (Register / BySlug / All)
+// seeded with the four Table II rows, a parameterized scale-<n> family and
+// a mixed-workload churn scenario; a concurrent job engine (Engine,
+// RunMatrix) executes (scenario, policy, seed) sweeps on a worker pool
+// with deterministic, sequential-identical aggregation; and runners
+// regenerate every figure's data (running times and tmem-usage series) on
+// top of it.
+//
+// Scenario registry:
+//
+//   - the paper scenarios: "s1", "s2", "usemem", "s3" (Table II order);
+//   - "scale-<n>": n usemem VMs contending for n×128 MiB of tmem — any n
+//     in [2, 64] resolves via a registered Constructor ("scale-6" is
+//     pre-registered);
+//   - "churn": in-memory-analytics and graph-analytics VMs sharing the
+//     node with two usemem churn loops;
+//   - user scenarios: build a Scenario with NewScenario and Register it.
 //
 // Absolute times are simulation-model units, not the paper's wall-clock
 // seconds (their testbed is nested VirtualBox on a 2009-era laptop); what
@@ -62,13 +77,18 @@ func graphAnalytics(label string) workload.Workload {
 	}
 }
 
-// Scenario describes one Table II row plus everything needed to rerun it.
+// Scenario describes one benchmark scenario plus everything needed to
+// rerun it: a Table II row, a registered extension (scale-<n>, churn) or a
+// user scenario built with NewScenario.
 type Scenario struct {
-	// Name is the Table II scenario name ("Scenario 1", ...).
+	// Name is the scenario's display name ("Scenario 1", "Scale 6", ...).
 	Name string
 	// Slug is the short command-line identifier ("s1", "s2", "usemem",
-	// "s3").
+	// "s3", "scale-6", "churn").
 	Slug string
+	// Paper marks the four Table II scenarios the paper evaluates;
+	// extensions and user scenarios leave it false.
+	Paper bool
 	// Description paraphrases the Table II comments column.
 	Description string
 	// TmemBytes is the tmem capacity enabled for the scenario (§IV).
@@ -84,7 +104,23 @@ type Scenario struct {
 	// reports (label → present for which VMs).
 	RunLabels []string
 	// build assembles the core.Config for one run.
-	build func(seed uint64, pol policy.Policy, tmemOn bool) core.Config
+	build BuildFunc
+}
+
+// BuildFunc assembles the runnable configuration for one (seed, policy)
+// combination of a scenario. pol is nil and tmemOn false for the no-tmem
+// baseline. Implementations must return a fresh Config on every call —
+// builds run concurrently under the engine, so any cross-VM coordination
+// state (flags, milestone counters) must be allocated inside the call.
+type BuildFunc func(seed uint64, pol policy.Policy, tmemOn bool) core.Config
+
+// NewScenario returns a registrable scenario combining the descriptive
+// fields of s with the given build function (the build field itself is
+// unexported so that the concurrency contract above is documented in one
+// place). Register the result to make it resolvable by slug.
+func NewScenario(s Scenario, build BuildFunc) *Scenario {
+	s.build = build
+	return &s
 }
 
 // Build returns the runnable configuration for one (seed, policy)
@@ -122,8 +158,9 @@ func baseConfig(seed uint64, pol policy.Policy, tmemOn bool, tmemBytes mem.Bytes
 // in-memory-analytics twice (5 s apart), 1 GiB of tmem. Reproduces
 // Figures 3 (times) and 4 (series).
 var Scenario1 = &Scenario{
-	Name: "Scenario 1",
-	Slug: "s1",
+	Name:  "Scenario 1",
+	Slug:  "s1",
+	Paper: true,
 	Description: "VM1–VM3: 1GB RAM, 1 CPU. All VMs execute " +
 		"in-memory-analytics once simultaneously, sleep for 5 seconds, and " +
 		"execute it again (MovieLens-shaped dataset).",
@@ -156,8 +193,9 @@ var Scenario1 = &Scenario{
 // VM1 and VM2 launch together, VM3 30 s later; 1 GiB of tmem. Reproduces
 // Figures 5 (times) and 6 (series).
 var Scenario2 = &Scenario{
-	Name: "Scenario 2",
-	Slug: "s2",
+	Name:  "Scenario 2",
+	Slug:  "s2",
+	Paper: true,
 	Description: "VM1–VM3: 512MB RAM, 1 CPU. All execute graph-analytics " +
 		"once (soc-twitter-follows-shaped graph); the first two launch " +
 		"simultaneously, the third 30 seconds later.",
@@ -194,8 +232,9 @@ var Scenario2 = &Scenario{
 // VM3 attempts to allocate 768 MiB. Reproduces Figures 7 (times) and 8
 // (series).
 var UsememScenario = &Scenario{
-	Name: "Usemem Scenario",
-	Slug: "usemem",
+	Name:  "Usemem Scenario",
+	Slug:  "usemem",
+	Paper: true,
 	Description: "VM1–VM3: 512MB RAM, 1 CPU, running usemem. VM3 starts " +
 		"when VM1 and VM2 attempt to allocate 640MB; all VMs stop when VM3 " +
 		"attempts to allocate 768MB.",
@@ -282,8 +321,9 @@ func (g gatedWorkload) Run(ctx *workload.Ctx) {
 // launched together; VM3 (1 GiB) runs in-memory-analytics 30 s later;
 // 1 GiB of tmem. Reproduces Figures 9 (times) and 10 (series).
 var Scenario3 = &Scenario{
-	Name: "Scenario 3",
-	Slug: "s3",
+	Name:  "Scenario 3",
+	Slug:  "s3",
+	Paper: true,
 	Description: "VM1, VM2: 512MB RAM running graph-analytics " +
 		"simultaneously; VM3: 1GB RAM running in-memory-analytics, launched " +
 		"30 seconds later.",
@@ -313,17 +353,4 @@ var Scenario3 = &Scenario{
 		})
 		return cfg
 	},
-}
-
-// Scenarios lists every Table II scenario in paper order.
-var Scenarios = []*Scenario{Scenario1, Scenario2, UsememScenario, Scenario3}
-
-// BySlug returns the scenario with the given slug.
-func BySlug(slug string) (*Scenario, error) {
-	for _, s := range Scenarios {
-		if s.Slug == slug {
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("experiments: unknown scenario %q", slug)
 }

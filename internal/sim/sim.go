@@ -71,9 +71,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -99,7 +99,7 @@ type Kernel struct {
 	// when it parks. The kernel blocks on this after waking a process.
 	yield chan *Proc
 
-	panicVal interface{} // re-raised on Run if a process panicked
+	panicVal any // re-raised on Run if a process panicked
 }
 
 // NewKernel creates a simulation kernel with the given RNG seed.

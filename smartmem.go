@@ -173,13 +173,24 @@ func MiniALS(r *Ratings, k, iters int, rng *RNG) float64 {
 	return workload.MiniALS(r, k, iters, rng)
 }
 
-// Scenario is one of the paper's Table II benchmark scenarios.
+// Scenario is one registered benchmark scenario: a paper Table II row, an
+// extension (scale-<n>, churn) or a user registration.
 type Scenario = experiments.Scenario
 
-// Scenarios lists the paper's four scenarios in Table II order.
-func Scenarios() []*Scenario { return experiments.Scenarios }
+// Scenarios lists every registered scenario: the paper's four Table II
+// rows first, then the scale/churn extensions and user registrations.
+func Scenarios() []*Scenario { return experiments.All() }
 
-// ScenarioBySlug resolves "s1", "s2", "usemem" or "s3".
+// PaperScenarios lists only the paper's four scenarios in Table II order.
+func PaperScenarios() []*Scenario { return experiments.PaperScenarios() }
+
+// RegisterScenario adds a custom scenario to the registry, making it
+// resolvable by slug from RunScenario, ScenarioTimes and the commands.
+// Build scenarios with experiments.NewScenario.
+func RegisterScenario(s *Scenario) { experiments.Register(s) }
+
+// ScenarioBySlug resolves a registered slug ("s1", "s2", "usemem", "s3",
+// "churn") or a parameterized one ("scale-<n>").
 func ScenarioBySlug(slug string) (*Scenario, error) { return experiments.BySlug(slug) }
 
 // RunScenario executes one (scenario, policy, seed) combination. The
@@ -192,16 +203,55 @@ func RunScenario(slug, policySpec string, seed uint64) (*Result, error) {
 	return experiments.RunOne(s, policySpec, seed)
 }
 
+// ExperimentJob is one (scenario, policy, seed) cell of a sweep.
+type ExperimentJob = experiments.Job
+
+// ExperimentResult pairs a job with its outcome; results always arrive in
+// job order regardless of parallel completion order.
+type ExperimentResult = experiments.JobResult
+
+// ExperimentOptions configure parallel sweeps: worker-pool size (default
+// runtime.NumCPU()), cancellation context and a progress callback.
+type ExperimentOptions = experiments.Options
+
+// ErrSkipped marks sweep jobs that never ran because an earlier job failed
+// (fail-fast) or the sweep was cancelled; test ExperimentResult.Err with
+// errors.Is to tell skipped jobs from failed ones in partial results.
+var ErrSkipped = experiments.ErrSkipped
+
+// RunMatrix executes every (scenario, policy, seed) combination on a
+// worker pool and returns the results in deterministic matrix order
+// (scenario-major, then policy, then seed). Nil policies selects each
+// scenario's own policy list; nil seeds the default five.
+func RunMatrix(slugs []string, policies []string, seeds []uint64, opt ExperimentOptions) ([]ExperimentResult, error) {
+	scns := make([]*Scenario, len(slugs))
+	for i, slug := range slugs {
+		s, err := experiments.BySlug(slug)
+		if err != nil {
+			return nil, err
+		}
+		scns[i] = s
+	}
+	return experiments.RunMatrix(scns, policies, seeds, opt)
+}
+
 // ScenarioTimes reruns a scenario across policies and seeds and aggregates
 // the per-VM running times (the data behind the paper's Figures 3, 5, 7
 // and 9). Nil policies/seeds select the scenario's paper configuration and
-// the default five seeds.
+// the default five seeds. Runs execute concurrently (one worker per CPU)
+// with results identical to a sequential sweep; use ScenarioTimesOpts to
+// control parallelism.
 func ScenarioTimes(slug string, policies []string, seeds []uint64) (*experiments.TimesTable, error) {
+	return ScenarioTimesOpts(slug, policies, seeds, ExperimentOptions{})
+}
+
+// ScenarioTimesOpts is ScenarioTimes with explicit execution options.
+func ScenarioTimesOpts(slug string, policies []string, seeds []uint64, opt ExperimentOptions) (*experiments.TimesTable, error) {
 	s, err := experiments.BySlug(slug)
 	if err != nil {
 		return nil, err
 	}
-	return experiments.Times(s, policies, seeds)
+	return experiments.TimesOpts(s, policies, seeds, opt)
 }
 
 // WriteScenarioTimes renders a times table as fixed-width text.
