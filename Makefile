@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench report clean
+.PHONY: all build test race vet lint fmt bench report clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# ./... covers every package of the module, examples/ and cmd/ included.
 vet:
 	$(GO) vet ./...
+
+# lint fails on unformatted files (gofmt prints their names) and vets the
+# whole module. CI runs this.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 fmt:
 	gofmt -l -w .

@@ -1,6 +1,8 @@
 // Command smartmem-report regenerates the paper's evaluation artefacts:
 // every running-time figure (3, 5, 7, 9), every tmem-usage figure
-// (4, 6, 8, 10) and both tables (I, II), as text and optional CSV.
+// (4, 6, 8, 10) and both tables (I, II), as text plus optional CSV/JSON
+// exports, and can stream every underlying run's lifecycle events as
+// NDJSON for machine consumption.
 //
 // Usage:
 //
@@ -8,11 +10,15 @@
 //	smartmem-report -fig 5 -seeds 2 # one figure, quicker
 //	smartmem-report -parallel 1     # sequential (same output, slower)
 //	smartmem-report -out results/   # also write CSVs
+//	smartmem-report -out results/ -json   # JSON instead of CSV
+//	smartmem-report -events runs.ndjson   # job-tagged event stream
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -21,6 +27,7 @@ import (
 	"smartmem/internal/experiments"
 	"smartmem/internal/report"
 	"smartmem/internal/tmem"
+	"smartmem/sinks"
 )
 
 // figureSpec maps a paper figure to its scenario and kind.
@@ -48,7 +55,9 @@ func main() {
 		table    = flag.Int("table", 0, "print a single table (1 or 2); 0 = all")
 		nSeeds   = flag.Int("seeds", 5, "repetitions per (scenario, policy)")
 		seed     = flag.Uint64("seed", 11, "seed for series figures")
-		outDir   = flag.String("out", "", "directory for CSV output (optional)")
+		outDir   = flag.String("out", "", "directory for CSV/JSON output (optional)")
+		asJSON   = flag.Bool("json", false, "write -out artifacts as JSON documents instead of CSV")
+		evPath   = flag.String("events", "", `stream every run's lifecycle events as job-tagged NDJSON to this file ("-" = stdout)`)
 		figOnly  = flag.Bool("figures-only", false, "skip tables")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
 		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
@@ -62,6 +71,25 @@ func main() {
 	opt := experiments.Options{Parallelism: *parallel}
 	if !*quiet {
 		opt.OnProgress = liveProgress
+	}
+	if *evPath != "" {
+		w := io.Writer(os.Stdout)
+		if *evPath != "-" {
+			f, err := os.Create(*evPath)
+			must(err)
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		// The engine serializes OnEvent calls, so encoding here is safe;
+		// each line carries the job that produced the event.
+		opt.OnEvent = func(j experiments.Job, e experiments.RunEvent) {
+			m := sinks.Encode(e)
+			m["scenario"] = j.Scenario.Slug
+			m["policy"] = j.PolicySpec
+			m["seed"] = j.Seed
+			must(enc.Encode(m))
+		}
 	}
 
 	if !*figOnly && (*fig == 0 || *table != 0) {
@@ -91,7 +119,15 @@ func main() {
 			must(experiments.TimesReport(tab).Render(os.Stdout))
 			fmt.Println()
 			if *outDir != "" {
-				writeTimesCSV(*outDir, fs.fig, tab)
+				if *asJSON {
+					writeArtifact(*outDir, fmt.Sprintf("fig%d_times.json", fs.fig), func(w io.Writer) error {
+						return experiments.WriteTimesJSON(w, tab)
+					})
+				} else {
+					writeArtifact(*outDir, fmt.Sprintf("fig%d_times.csv", fs.fig), func(w io.Writer) error {
+						return experiments.WriteTimesCSV(w, tab)
+					})
+				}
 			}
 		case "series":
 			fmt.Printf("=== Figure %d: %s tmem usage over time ===\n", fs.fig, scn.Name)
@@ -101,7 +137,23 @@ func main() {
 				must(experiments.RenderSeries(os.Stdout, sr))
 				fmt.Println()
 				if *outDir != "" {
-					writeSeriesCSV(*outDir, fs.fig, fs.policies[i], sr)
+					sr := sr
+					safe := policyFileName(fs.policies[i])
+					if *asJSON {
+						writeArtifact(*outDir, fmt.Sprintf("fig%d_%s_series.json", fs.fig, safe), func(w io.Writer) error {
+							enc := json.NewEncoder(w)
+							enc.SetIndent("", "  ")
+							return enc.Encode(map[string]any{
+								"schema":   "smartmem/series@1",
+								"scenario": sr.Scenario.Slug,
+								"policy":   sr.PolicySpec,
+								"seed":     sr.Seed,
+								"result":   sinks.EncodeResult(sr.Result),
+							})
+						})
+					} else {
+						writeArtifact(*outDir, fmt.Sprintf("fig%d_%s_series.csv", fs.fig, safe), sr.Result.Series.WriteCSV)
+					}
 				}
 			}
 		}
@@ -149,28 +201,18 @@ func printTable1() {
 	fmt.Println()
 }
 
-func writeTimesCSV(dir string, fig int, tab *experiments.TimesTable) {
-	must(os.MkdirAll(dir, 0o755))
-	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("fig%d_times.csv", fig)))
-	must(err)
-	defer f.Close()
-	fmt.Fprintf(f, "vm,run,%s\n", strings.Join(tab.Policies, ","))
-	for _, row := range tab.Rows {
-		cells := []string{row.VM, row.Label}
-		for _, pol := range tab.Policies {
-			cells = append(cells, fmt.Sprintf("%.2f", row.ByPolicy[pol].Mean))
-		}
-		fmt.Fprintln(f, strings.Join(cells, ","))
-	}
+// policyFileName makes a policy spec safe for file names.
+func policyFileName(pol string) string {
+	return strings.NewReplacer(":", "_", "=", "", "%", "").Replace(pol)
 }
 
-func writeSeriesCSV(dir string, fig int, pol string, sr *experiments.SeriesRun) {
+// writeArtifact creates dir/name and writes it with fn.
+func writeArtifact(dir, name string, fn func(io.Writer) error) {
 	must(os.MkdirAll(dir, 0o755))
-	safe := strings.NewReplacer(":", "_", "=", "", "%", "").Replace(pol)
-	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("fig%d_%s_series.csv", fig, safe)))
+	f, err := os.Create(filepath.Join(dir, name))
 	must(err)
 	defer f.Close()
-	must(sr.Result.Series.WriteCSV(f))
+	must(fn(f))
 }
 
 func must(err error) {

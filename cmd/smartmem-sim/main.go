@@ -4,43 +4,69 @@
 // sweeps every (policy, seed) combination of the scenario concurrently and
 // prints the aggregated running-times table.
 //
+// The run executes as a smartmem.Session; -json and -events attach the
+// built-in result sinks to its event stream ("-" writes to stdout and
+// suppresses the text report).
+//
 // Usage:
 //
 //	smartmem-sim -scenario s2 -policy smart-alloc:P=6 -seed 11 -chart
 //	smartmem-sim -scenario usemem -policy greedy -csv series.csv
+//	smartmem-sim -scenario usemem -policy greedy -json run.json -events -
 //	smartmem-sim -scenario scale-12 -times -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
 	"smartmem"
 	"smartmem/internal/experiments"
+	"smartmem/sinks"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: it parses args and writes to the
+// given streams instead of touching the process globals.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("smartmem-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scenario = flag.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3, scale-<n>, churn")
-		policy   = flag.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
-		seed     = flag.Uint64("seed", 11, "random seed")
-		chart    = flag.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
-		csvPath  = flag.String("csv", "", "write the tmem time series as CSV to this file")
-		list     = flag.Bool("list", false, "list registered scenarios and exit")
-		times    = flag.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
-		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
+		scenario = fs.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3, scale-<n>, churn")
+		policy   = fs.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
+		seed     = fs.Uint64("seed", 11, "random seed")
+		chart    = fs.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
+		csvPath  = fs.String("csv", "", "write the tmem time series as CSV to this file")
+		jsonPath = fs.String("json", "", `write the full run (events + result) as one JSON document to this file ("-" = stdout, suppressing the text report)`)
+		evPath   = fs.String("events", "", `stream lifecycle events as NDJSON to this file while the run executes ("-" = stdout, suppressing the text report)`)
+		list     = fs.Bool("list", false, "list registered scenarios and exit")
+		times    = fs.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
+		quiet    = fs.Bool("quiet", false, "suppress live progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "smartmem-sim:", err)
+		return 1
+	}
 
 	if *list {
-		if err := experiments.RegistryTable().Render(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-			os.Exit(1)
+		if err := experiments.RegistryTable().Render(stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *times {
@@ -49,7 +75,7 @@ func main() {
 		// five seeds.
 		var policies []string
 		var seeds []uint64
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "policy":
 				policies = []string{*policy}
@@ -60,67 +86,125 @@ func main() {
 		opt := smartmem.ExperimentOptions{Parallelism: *parallel}
 		if !*quiet {
 			opt.OnProgress = func(done, total int, j smartmem.ExperimentJob) {
-				fmt.Fprintf(os.Stderr, "\r[%d/%d] %-48s", done, total, j.String())
+				fmt.Fprintf(stderr, "\r[%d/%d] %-48s", done, total, j.String())
 				if done == total {
-					fmt.Fprintln(os.Stderr)
+					fmt.Fprintln(stderr)
 				}
 			}
 		}
 		tab, err := smartmem.ScenarioTimesOpts(*scenario, policies, seeds, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		if err := smartmem.WriteScenarioTimes(os.Stdout, tab); err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-			os.Exit(1)
+		if err := smartmem.WriteScenarioTimes(stdout, tab); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
-	res, err := smartmem.RunScenario(*scenario, *policy, *seed)
+	// Single-run mode: execute the scenario as a Session so sinks can ride
+	// the event stream.
+	scn, err := experiments.BySlug(*scenario)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-		os.Exit(1)
+		return fail(err)
+	}
+	cfg, err := scn.Build(*seed, *policy)
+	if err != nil {
+		return fail(err)
 	}
 
-	fmt.Printf("scenario %s, policy %s, seed %d — finished at %.1f virtual seconds\n\n",
-		*scenario, res.PolicyName, res.Seed, res.EndTime.Seconds())
+	textReport := true
+	var opts []smartmem.SessionOption
+	var toClose []io.Closer
+	attach := func(path string, mk func(io.Writer) smartmem.Sink) error {
+		if path == "" {
+			return nil
+		}
+		w := io.Writer(stdout)
+		if path == "-" {
+			textReport = false
+		} else {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			toClose = append(toClose, f)
+			w = f
+		}
+		opts = append(opts, smartmem.WithSink(mk(w)))
+		return nil
+	}
+	if err := attach(*evPath, func(w io.Writer) smartmem.Sink { return sinks.NDJSON(w) }); err != nil {
+		return fail(err)
+	}
+	if err := attach(*jsonPath, func(w io.Writer) smartmem.Sink { return sinks.JSON(w) }); err != nil {
+		return fail(err)
+	}
+	defer func() {
+		for _, c := range toClose {
+			c.Close()
+		}
+	}()
 
-	fmt.Println("runs:")
-	for _, r := range res.Runs {
-		fmt.Printf("  %-4s %-16s %8.1fs  (%.1fs → %.1fs)\n",
-			r.VM, r.Label, r.Duration().Seconds(), r.Start.Seconds(), r.End.Seconds())
+	sess, err := smartmem.NewSession(cfg, opts...)
+	if err != nil {
+		return fail(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return fail(err)
+	}
+	if res.HitLimit {
+		return fail(fmt.Errorf("%s/%s seed %d hit the virtual-time limit", *scenario, *policy, *seed))
 	}
 
-	fmt.Println("\nper-VM memory management:")
-	for _, vm := range res.VMs {
-		k := vm.Kernel
-		fmt.Printf("  %-4s touches=%d evictions=%d putsOK=%d putsFailed=%d tmemHits=%d diskR=%d diskW=%d diskWait=%.1fs\n",
-			vm.Name, k.Touches, k.Evictions, k.PutsOK, k.PutsFailed, k.TmemHits,
-			k.DiskReads, k.DiskWrites, k.WaitedOnDisk.Seconds())
+	if textReport {
+		fmt.Fprintf(stdout, "scenario %s, policy %s, seed %d — finished at %.1f virtual seconds\n\n",
+			*scenario, res.PolicyName, res.Seed, res.EndTime.Seconds())
+
+		fmt.Fprintln(stdout, "runs:")
+		for _, r := range res.Runs {
+			fmt.Fprintf(stdout, "  %-4s %-16s %8.1fs  (%.1fs → %.1fs)\n",
+				r.VM, r.Label, r.Duration().Seconds(), r.Start.Seconds(), r.End.Seconds())
+		}
+
+		fmt.Fprintln(stdout, "\nper-VM memory management:")
+		for _, vm := range res.VMs {
+			k := vm.Kernel
+			fmt.Fprintf(stdout, "  %-4s touches=%d evictions=%d putsOK=%d putsFailed=%d tmemHits=%d diskR=%d diskW=%d diskWait=%.1fs\n",
+				vm.Name, k.Touches, k.Evictions, k.PutsOK, k.PutsFailed, k.TmemHits,
+				k.DiskReads, k.DiskWrites, k.WaitedOnDisk.Seconds())
+		}
+		fmt.Fprintf(stdout, "\nhost disk: %d ops, %.1fs busy; MM: %d samples, %d target batches sent\n",
+			res.DiskOps, res.DiskBusy.Seconds(), res.SampleTicks, res.MMBatchesSent)
 	}
-	fmt.Printf("\nhost disk: %d ops, %.1fs busy; MM: %d samples, %d target batches sent\n",
-		res.DiskOps, res.DiskBusy.Seconds(), res.SampleTicks, res.MMBatchesSent)
 
 	if *chart {
-		fmt.Println()
-		if err := smartmem.WriteScenarioSeries(os.Stdout, *scenario, *policy, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim: chart:", err)
-			os.Exit(1)
+		if !textReport {
+			// stdout carries a machine-readable stream; don't corrupt it.
+			fmt.Fprintln(stderr, "smartmem-sim: -chart is ignored when -json/-events write to stdout")
+		} else {
+			fmt.Fprintln(stdout)
+			if err := smartmem.WriteScenarioSeries(stdout, *scenario, *policy, *seed); err != nil {
+				fmt.Fprintln(stderr, "smartmem-sim: chart:", err)
+				return 1
+			}
 		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		defer f.Close()
 		if err := res.Series.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "smartmem-sim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		fmt.Printf("series written to %s\n", *csvPath)
+		confirm := stdout
+		if !textReport {
+			confirm = stderr
+		}
+		fmt.Fprintf(confirm, "series written to %s\n", *csvPath)
 	}
+	return 0
 }

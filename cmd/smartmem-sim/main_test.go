@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden locks the -json sink wiring end-to-end: the scale-2 run
+// is deterministic, so the serialized document (events + result) must be
+// byte-identical run over run. Regenerate with:
+//
+//	go test ./cmd/smartmem-sim -args -update
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "scale-2", "-policy", "smart-alloc:P=2", "-seed", "11", "-json", "-"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+
+	// Structural sanity before the byte comparison, so a schema change
+	// fails with a readable message.
+	var doc struct {
+		Schema string           `json:"schema"`
+		Events []map[string]any `json:"events"`
+		Result map[string]any   `json:"result"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "smartmem/run@1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.Events {
+		kind, _ := e["event"].(string)
+		kinds[kind] = true
+	}
+	for _, want := range []string{"vm-started", "milestone", "run-completed", "sample-tick", "target-update", "run-finished"} {
+		if !kinds[want] {
+			t.Errorf("event stream missing kind %q (got %v)", want, kinds)
+		}
+	}
+	if doc.Result == nil || doc.Result["policy"] != "smart-alloc(P=2%)" {
+		t.Errorf("result = %v", doc.Result)
+	}
+
+	golden := filepath.Join("testdata", "scale2_smart_alloc_seed11.json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -args -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden (%d bytes vs %d); rerun with -args -update if intended",
+			out.Len(), len(want))
+	}
+}
+
+// TestEventsNDJSON checks the -events sink: one valid JSON object per
+// line, ending with the result record.
+func TestEventsNDJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "scale-2", "-policy", "greedy", "-seed", "11", "-events", "-"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d NDJSON lines", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i+1, err)
+		}
+		if i == len(lines)-1 {
+			if m["record"] != "result" {
+				t.Errorf("last line is not the result record: %s", line)
+			}
+		} else if m["event"] == "" {
+			t.Errorf("line %d has no event kind: %s", i+1, line)
+		}
+	}
+}
+
+// TestTimesModeStillWorks guards the sweep path against the Session
+// refactor.
+func TestTimesModeStillWorks(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "scale-2", "-policy", "greedy", "-seed", "11", "-times", "-quiet"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "greedy") {
+		t.Errorf("times table missing policy column:\n%s", out.String())
+	}
+}

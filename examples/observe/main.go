@@ -1,0 +1,88 @@
+// observe demonstrates the Session API: the paper's Scenario 2 run is
+// constructed as a session, a live observer prints milestones and target
+// re-allocations as the MM reacts to the staggered third VM, an NDJSON
+// sink exports the full event stream to a file, and a deadline context
+// shows cancellation returning a partial result.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"smartmem"
+	"smartmem/internal/experiments"
+	"smartmem/sinks"
+)
+
+func main() {
+	scn, err := experiments.BySlug("s2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := scn.Build(11, "smart-alloc:P=6")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create("s2-run.ndjson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	sess, err := smartmem.NewSession(cfg,
+		// Live view: every workload milestone and every target batch the
+		// MM sends back to the hypervisor, as they happen.
+		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+			switch ev := e.(type) {
+			case smartmem.VMStarted:
+				fmt.Printf("%7.1fs  %s starts %s\n", ev.At.Seconds(), ev.VM, ev.Workload)
+			case smartmem.Milestone:
+				fmt.Printf("%7.1fs  %s reached %s\n", ev.At.Seconds(), ev.VM, ev.Label)
+			case smartmem.TargetUpdate:
+				fmt.Printf("%7.1fs  MM re-targets %s to %d pages\n", ev.At.Seconds(), ev.VM, ev.Target)
+			case smartmem.RunCompleted:
+				fmt.Printf("%7.1fs  %s finished %s in %.1fs\n", ev.At.Seconds(),
+					ev.Record.VM, ev.Record.Label, ev.Record.Duration().Seconds())
+			}
+		})),
+		// Machine-readable artifact: the same stream as NDJSON.
+		smartmem.WithSink(sinks.NDJSON(f)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinished at %.1f virtual seconds; event log in s2-run.ndjson\n\n", res.EndTime.Seconds())
+
+	// Cancellation: the same scenario under a context that gives up
+	// almost immediately still yields a partial result.
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg2, err := scn.Build(11, "greedy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	partialSess, err := smartmem.NewSession(cfg2,
+		smartmem.WithContext(ctx),
+		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+			if st, ok := e.(smartmem.SampleTick); ok && st.Seq == 5 {
+				cancel() // give up after five sampling intervals
+			}
+		})),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial, err := partialSess.Run()
+	if !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected cancellation, got %v", err)
+	}
+	fmt.Printf("cancelled run stopped at %.1f virtual seconds with %d samples recorded\n",
+		partial.EndTime.Seconds(), partial.SampleTicks)
+}

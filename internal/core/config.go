@@ -110,6 +110,16 @@ type TKMTransport interface {
 	Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error)
 }
 
+// Validate checks the configuration the way a run would: it reports the
+// first error normalize would return (bad page size, duplicate VM
+// ids/names, tmem enabled with no capacity, ...) without running anything.
+// NewSession-style constructors call this so a misconfigured run fails at
+// construction time rather than at Run time.
+func (c Config) Validate() error {
+	_, err := c.normalize()
+	return err
+}
+
 // normalize fills defaults and validates; returns a copy.
 func (c Config) normalize() (Config, error) {
 	if c.PageSize == 0 {

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// Event is one element of a node run's typed lifecycle stream. A running
+// node emits events in virtual-time order: one VMStarted per VM, Milestone
+// and RunCompleted as workloads progress, one SampleTick (plus any
+// TargetUpdates) per MM sampling interval, and exactly one RunFinished as
+// the final event. The concrete types are the sum's only members.
+type Event interface {
+	// When returns the virtual time the event occurred at.
+	When() sim.Time
+	// Kind returns the event's stable machine-readable name
+	// ("vm-started", "milestone", ...), used by sinks and logs.
+	Kind() string
+	// event seals the sum: only types in this package implement Event.
+	event()
+}
+
+// VMStarted reports that a VM's workload began executing (after its
+// StartDelay and launch jitter elapsed).
+type VMStarted struct {
+	At sim.Time
+	// VM and ID identify the machine; Workload names what it runs.
+	VM       string
+	ID       tmem.VMID
+	Workload string
+}
+
+// Milestone reports a workload passing a named internal milestone (e.g.
+// usemem beginning a larger allocation, analytics finishing a pass).
+type Milestone struct {
+	At    sim.Time
+	VM    string
+	Label string
+}
+
+// RunCompleted reports one finished workload run measurement — the same
+// record appended to Result.Runs.
+type RunCompleted struct {
+	At     sim.Time
+	Record RunRecord
+}
+
+// SampleTick reports one MM sampling interval: the statistics the TKM
+// relayed to the policy. Stats (including its VMs slice) and VMNames are
+// shared with the node; observers must treat them as read-only.
+type SampleTick struct {
+	At sim.Time
+	// Seq numbers sampling intervals from 1.
+	Seq   uint64
+	Stats tmem.MemStats
+	// VMNames maps the ids appearing in Stats.VMs to their configured
+	// display names, so sinks label VMs consistently with the other
+	// events.
+	VMNames map[tmem.VMID]string
+}
+
+// TargetUpdate reports one per-VM tmem target the MM sent back to the
+// hypervisor this interval (only emitted when the policy's batch was not
+// suppressed by dedup).
+type TargetUpdate struct {
+	At     sim.Time
+	VM     string
+	ID     tmem.VMID
+	Target mem.Pages
+}
+
+// RunFinished is the final event of every run, carrying the assembled
+// Result (partial when Cancelled).
+type RunFinished struct {
+	At sim.Time
+	// Cancelled reports that the run's context was cancelled mid-run and
+	// Result holds partial data.
+	Cancelled bool
+	Result    *Result
+}
+
+// When implements Event.
+func (e VMStarted) When() sim.Time    { return e.At }
+func (e Milestone) When() sim.Time    { return e.At }
+func (e RunCompleted) When() sim.Time { return e.At }
+func (e SampleTick) When() sim.Time   { return e.At }
+func (e TargetUpdate) When() sim.Time { return e.At }
+func (e RunFinished) When() sim.Time  { return e.At }
+
+// Kind implements Event.
+func (VMStarted) Kind() string    { return "vm-started" }
+func (Milestone) Kind() string    { return "milestone" }
+func (RunCompleted) Kind() string { return "run-completed" }
+func (SampleTick) Kind() string   { return "sample-tick" }
+func (TargetUpdate) Kind() string { return "target-update" }
+func (RunFinished) Kind() string  { return "run-finished" }
+
+func (VMStarted) event()    {}
+func (Milestone) event()    {}
+func (RunCompleted) event() {}
+func (SampleTick) event()   {}
+func (TargetUpdate) event() {}
+func (RunFinished) event()  {}
+
+// Observer receives a run's event stream. Calls are serialized (the
+// simulation dispatches one process at a time) and synchronous: an observer
+// that blocks stalls the run, and one that needs to steer it may do so
+// immediately (e.g. cancel the run's context, raise a scenario flag).
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// MultiObserver fans one event stream out to several observers, invoking
+// them in order. Nil elements are skipped.
+func MultiObserver(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// emitter is the node's internal fan-out point; a nil emitter (no
+// observers) makes every emit a no-op so the no-observer path stays free.
+type emitter struct{ obs Observer }
+
+func (em *emitter) emit(e Event) {
+	if em.obs != nil {
+		em.obs.OnEvent(e)
+	}
+}

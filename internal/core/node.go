@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -44,6 +45,9 @@ type Result struct {
 	EndTime sim.Time
 	// HitLimit reports whether the run was cut off by Config.Limit.
 	HitLimit bool
+	// Cancelled reports whether the run's context was cancelled mid-run;
+	// every field then holds the partial state at cancellation time.
+	Cancelled bool
 	// Runs holds every reported run/milestone, in completion order.
 	Runs []RunRecord
 	// Series carries the time series the paper's Figures 4/6/8/10 plot:
@@ -74,11 +78,25 @@ func (r *Result) RunsFor(vm, label string) []RunRecord {
 	return out
 }
 
-// Run executes one full node simulation and returns its results.
+// Run executes one full node simulation to completion and returns its
+// results. It is a convenience wrapper over RunWith with a background
+// context and no observer.
 func Run(cfg Config) (*Result, error) {
+	return RunWith(context.Background(), cfg, nil)
+}
+
+// RunWith executes one full node simulation, streaming lifecycle events to
+// obs (which may be nil) and honouring ctx cancellation. On cancellation it
+// returns promptly with the context's error AND a non-nil partial Result
+// (Result.Cancelled set): everything measured up to the cancellation
+// point. A nil ctx means context.Background().
+func RunWith(ctx context.Context, cfg Config, obs Observer) (*Result, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	kern := sim.NewKernel(cfg.Seed)
@@ -96,6 +114,28 @@ func Run(cfg Config) (*Result, error) {
 		PolicyName: cfg.PolicyName(),
 		Seed:       cfg.Seed,
 		Series:     metrics.NewSet(),
+	}
+
+	// Built-in observers come first so the node's own bookkeeping (legacy
+	// milestone callback, figure series) sees each event before the caller.
+	names := newVMNames(cfg)
+	builtins := make([]Observer, 0, 3)
+	if cfg.OnMilestone != nil {
+		builtins = append(builtins, milestoneRelay{fn: cfg.OnMilestone})
+	}
+	if backend != nil {
+		builtins = append(builtins, &seriesRecorder{set: res.Series, names: names})
+	}
+	em := &emitter{}
+	if len(builtins) > 0 || obs != nil {
+		em.obs = MultiObserver(append(builtins, obs)...)
+	}
+
+	// Workloads poll cancellation between access batches; leave the hook
+	// nil for non-cancellable contexts so the common path costs nothing.
+	var cancelled func() bool
+	if ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
 	}
 
 	// --- guests + workloads ---
@@ -128,22 +168,24 @@ func Run(cfg Config) (*Result, error) {
 		wlRNG := rootRNG.Split()
 		kern.SpawnAt("wl-"+spec.Name, delay, func(p *sim.Proc) {
 			defer func() { remaining-- }()
-			ctx := &workload.Ctx{
+			em.emit(VMStarted{At: p.Now(), VM: spec.Name, ID: spec.ID, Workload: spec.Workload.Name()})
+			wctx := &workload.Ctx{
 				Proc:     p,
 				Guest:    g,
 				RNG:      wlRNG,
 				PageSize: cfg.PageSize,
 				Report: func(label string, start, end sim.Time) {
-					res.Runs = append(res.Runs, RunRecord{
-						VM: spec.Name, Label: label, Start: start, End: end,
-					})
+					rec := RunRecord{VM: spec.Name, Label: label, Start: start, End: end}
+					res.Runs = append(res.Runs, rec)
+					em.emit(RunCompleted{At: end, Record: rec})
 				},
-				Stop: cfg.Stop,
+				OnMilestone: func(label string) {
+					em.emit(Milestone{At: p.Now(), VM: spec.Name, Label: label})
+				},
+				Stop:      cfg.Stop,
+				Cancelled: cancelled,
 			}
-			if cfg.OnMilestone != nil {
-				ctx.OnMilestone = func(label string) { cfg.OnMilestone(spec.Name, label) }
-			}
-			spec.Workload.Run(ctx)
+			spec.Workload.Run(wctx)
 			if end := p.Now(); end > res.EndTime {
 				res.EndTime = end
 			}
@@ -172,22 +214,38 @@ func Run(cfg Config) (*Result, error) {
 				if remaining == 0 {
 					return
 				}
-				ms, _, err := relay.Tick()
+				ms, targets, err := relay.Tick()
 				if err != nil {
 					// A torn MM connection degrades to greedy: targets
 					// simply stop changing, exactly as in the real system.
 					return
 				}
 				res.SampleTicks++
-				recordSeries(res.Series, p.Now(), ms, cfg)
+				em.emit(SampleTick{At: p.Now(), Seq: ms.IntervalSeq, Stats: ms, VMNames: names})
+				for _, tu := range targets {
+					em.emit(TargetUpdate{
+						At: p.Now(), VM: names.name(tu.ID), ID: tu.ID, Target: tu.MMTarget,
+					})
+				}
 			}
 		})
 	}
 
-	kern.Run()
+	// The kernel loop checks the context between events so cancellation is
+	// prompt even while every workload is deep inside a long phase. With a
+	// background context the check never fires and the schedule is
+	// identical to an unobserved kern.Run().
+	for kern.Step() {
+		if cancelled != nil && ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
+	}
 	res.HitLimit = kern.Ended()
-	if res.HitLimit {
-		res.EndTime = kern.Now()
+	if res.HitLimit || res.Cancelled {
+		if now := kern.Now(); now > res.EndTime {
+			res.EndTime = now
+		}
 	}
 	kern.KillAll()
 
@@ -211,6 +269,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	sortRuns(res.Runs)
+	em.emit(RunFinished{At: res.EndTime, Cancelled: res.Cancelled, Result: res})
+
+	if res.Cancelled {
+		return res, context.Cause(ctx)
+	}
 	return res, nil
 }
 
@@ -218,27 +281,6 @@ type transportAdapter struct{ t TKMTransport }
 
 func (a transportAdapter) Handle(ms tmem.MemStats) ([]tmem.TargetUpdate, error) {
 	return a.t.Handle(ms)
-}
-
-func recordSeries(set *metrics.Set, now sim.Time, ms tmem.MemStats, cfg Config) {
-	t := now.Seconds()
-	byID := make(map[tmem.VMID]string, len(cfg.VMs))
-	for _, vm := range cfg.VMs {
-		byID[vm.ID] = vm.Name
-	}
-	for _, v := range ms.VMs {
-		name, ok := byID[v.ID]
-		if !ok {
-			name = fmt.Sprintf("vm%d", v.ID)
-		}
-		set.Get("tmem-"+name).Add(t, float64(v.TmemUsed))
-		tgt := v.MMTarget
-		if tgt == tmem.Unlimited {
-			tgt = ms.TotalTmem // plot greedy's "no limit" as the whole pool
-		}
-		set.Get("target-"+name).Add(t, float64(tgt))
-	}
-	set.Get("free-tmem").Add(t, float64(ms.FreeTmem))
 }
 
 func sortRuns(runs []RunRecord) {

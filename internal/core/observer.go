@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"smartmem/internal/metrics"
+	"smartmem/internal/tmem"
+)
+
+// Built-in observers: the node's own bookkeeping rides the same event
+// stream external observers subscribe to. Series recording (the data behind
+// the paper's Figures 4/6/8/10) and the legacy Config.OnMilestone callback
+// are both just observers registered ahead of the caller's.
+
+// vmNames maps VMID→display name. It is built once per run (it used to be
+// rebuilt on every sampling tick, O(VMs) on the hot path) and shared by the
+// series recorder and the target-update emitter.
+type vmNames map[tmem.VMID]string
+
+func newVMNames(cfg Config) vmNames {
+	m := make(vmNames, len(cfg.VMs))
+	for _, vm := range cfg.VMs {
+		m[vm.ID] = vm.Name
+	}
+	return m
+}
+
+func (m vmNames) name(id tmem.VMID) string {
+	if n, ok := m[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("vm%d", id)
+}
+
+// seriesRecorder appends each SampleTick to the run's metrics set:
+// "tmem-<vm>" (pages in use), "target-<vm>" (mm_target) and "free-tmem".
+type seriesRecorder struct {
+	set   *metrics.Set
+	names vmNames
+}
+
+// OnEvent implements Observer.
+func (r *seriesRecorder) OnEvent(e Event) {
+	st, ok := e.(SampleTick)
+	if !ok {
+		return
+	}
+	t := st.At.Seconds()
+	ms := st.Stats
+	for _, v := range ms.VMs {
+		name := r.names.name(v.ID)
+		r.set.Get("tmem-"+name).Add(t, float64(v.TmemUsed))
+		tgt := v.MMTarget
+		if tgt == tmem.Unlimited {
+			tgt = ms.TotalTmem // plot greedy's "no limit" as the whole pool
+		}
+		r.set.Get("target-"+name).Add(t, float64(tgt))
+	}
+	r.set.Get("free-tmem").Add(t, float64(ms.FreeTmem))
+}
+
+// milestoneRelay adapts the legacy Config.OnMilestone callback to the
+// event stream, preserving its synchronous cross-VM coordination semantics
+// (the Usemem scenario raises stop flags from inside the callback).
+type milestoneRelay struct{ fn func(vm, label string) }
+
+// OnEvent implements Observer.
+func (r milestoneRelay) OnEvent(e Event) {
+	if m, ok := e.(Milestone); ok {
+		r.fn(m.VM, m.Label)
+	}
+}

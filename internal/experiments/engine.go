@@ -10,6 +10,11 @@ import (
 	"smartmem/internal/core"
 )
 
+// RunEvent is one lifecycle event of a node run (see core.Event),
+// re-exported so sweep callers can receive event streams without importing
+// core directly.
+type RunEvent = core.Event
+
 // Job is one (scenario, policy, seed) cell of an experiment sweep — the
 // unit of work the engine schedules. Every figure and table of the paper's
 // evaluation decomposes into a list of Jobs.
@@ -59,6 +64,12 @@ type Engine struct {
 	// finished. Calls are serialized by the engine; the callback does not
 	// need to be concurrency-safe.
 	OnProgress func(done, total int, j Job)
+	// OnEvent, when non-nil, receives every lifecycle event of every
+	// job's run (see core.Event), tagged with the job that produced it.
+	// Calls are serialized across workers; the callback does not need to
+	// be concurrency-safe. Event order is deterministic within a job but
+	// jobs interleave by completion timing.
+	OnEvent func(j Job, e core.Event)
 }
 
 // workers returns the effective pool size for n jobs.
@@ -95,6 +106,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 
 	var (
 		mu      sync.Mutex
+		eventMu sync.Mutex
 		done    int
 		jobErr  error // first real failure, lowest job index wins
 		jobIdx  = len(jobs)
@@ -120,7 +132,16 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 			defer wg.Done()
 			for idx := range indexes {
 				jr := JobResult{Job: jobs[idx], Index: idx}
-				jr.Result, jr.Err = RunOne(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed)
+				var obs core.Observer
+				if e.OnEvent != nil {
+					job := jobs[idx]
+					obs = core.ObserverFunc(func(ev core.Event) {
+						eventMu.Lock()
+						e.OnEvent(job, ev)
+						eventMu.Unlock()
+					})
+				}
+				jr.Result, jr.Err = RunOneWith(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed, obs)
 				results[idx] = jr
 
 				mu.Lock()
@@ -183,10 +204,13 @@ type Options struct {
 	Context context.Context
 	// OnProgress receives per-job completion callbacks (serialized).
 	OnProgress func(done, total int, j Job)
+	// OnEvent receives every lifecycle event of every run, tagged with
+	// its job (serialized). See Engine.OnEvent.
+	OnEvent func(j Job, e core.Event)
 }
 
 func (o Options) engine() *Engine {
-	return &Engine{Parallelism: o.Parallelism, OnProgress: o.OnProgress}
+	return &Engine{Parallelism: o.Parallelism, OnProgress: o.OnProgress, OnEvent: o.OnEvent}
 }
 
 // RunMatrix executes every (scenario, policy, seed) combination on the

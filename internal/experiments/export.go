@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"smartmem/internal/metrics"
+)
+
+// Machine-readable exports of the figure data, shared by the CLIs: the
+// same tables the text reports render, serialized for re-checking and
+// downstream tooling (the run-level event/result serializers live in the
+// public sinks package).
+
+// WriteTimesCSV writes a times table as CSV: one row per VM×run, one
+// mean-seconds column per policy.
+func WriteTimesCSV(w io.Writer, t *TimesTable) error {
+	if _, err := fmt.Fprintf(w, "vm,run,%s\n", strings.Join(t.Policies, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := []string{row.VM, row.Label}
+		for _, pol := range t.Policies {
+			cells = append(cells, fmt.Sprintf("%.2f", row.ByPolicy[pol].Mean))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTimesJSON writes a times table as one indented JSON document,
+// including the full summary (mean, std, n, min, max) per cell rather than
+// the CSV's means only.
+func WriteTimesJSON(w io.Writer, t *TimesTable) error {
+	doc := map[string]any{
+		"schema":   "smartmem/times@1",
+		"scenario": t.Scenario.Slug,
+		"figure":   t.Scenario.TimesFigure,
+		"policies": t.Policies,
+		"seeds":    t.Seeds,
+	}
+	rows := make([]map[string]any, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		byPolicy := make(map[string]any, len(row.ByPolicy))
+		for pol, s := range row.ByPolicy {
+			byPolicy[pol] = summaryDoc(s)
+		}
+		rows = append(rows, map[string]any{
+			"vm": row.VM, "run": row.Label, "by_policy": byPolicy,
+		})
+	}
+	doc["rows"] = rows
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func summaryDoc(s metrics.Summary) map[string]any {
+	return map[string]any{
+		"n": s.N, "mean": s.Mean, "std": s.Std, "min": s.Min, "max": s.Max,
+	}
+}

@@ -14,11 +14,17 @@ var DefaultSeeds = []uint64{11, 23, 37, 51, 68}
 
 // RunOne executes one (scenario, policy, seed) combination.
 func RunOne(s *Scenario, policySpec string, seed uint64) (*core.Result, error) {
+	return RunOneWith(s, policySpec, seed, nil)
+}
+
+// RunOneWith is RunOne with a lifecycle-event observer (may be nil)
+// subscribed to the run.
+func RunOneWith(s *Scenario, policySpec string, seed uint64, obs core.Observer) (*core.Result, error) {
 	cfg, err := s.Build(seed, policySpec)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(cfg)
+	res, err := core.RunWith(nil, cfg, obs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s seed %d: %w", s.Slug, policySpec, seed, err)
 	}

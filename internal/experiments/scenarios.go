@@ -20,8 +20,8 @@
 // Absolute times are simulation-model units, not the paper's wall-clock
 // seconds (their testbed is nested VirtualBox on a 2009-era laptop); what
 // the harness reproduces is the paper's comparative structure — which
-// policy wins for which VM, and by roughly what factor. EXPERIMENTS.md
-// records paper-vs-measured values for each figure.
+// policy wins for which VM, and by roughly what factor. The README's
+// results section records paper-vs-measured values for each figure.
 package experiments
 
 import (
@@ -309,7 +309,7 @@ func (g gatedWorkload) Name() string { return g.inner.Name() + "-gated" }
 // Run implements workload.Workload.
 func (g gatedWorkload) Run(ctx *workload.Ctx) {
 	for !g.gate.Stopped() {
-		if ctx.Stop.Stopped() {
+		if ctx.Stopped() {
 			return
 		}
 		ctx.Guest.Idle(ctx.Proc, 100*sim.Millisecond)

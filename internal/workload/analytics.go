@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"smartmem/internal/guest"
 	"smartmem/internal/mem"
 	"smartmem/internal/sim"
@@ -54,11 +56,15 @@ func (w InMemoryAnalytics) Run(ctx *Ctx) {
 	}
 	total := ctx.pages(w.DatasetBytes)
 	start := ctx.Proc.Now()
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
 
 	// Phase 1: load the dataset (sequential first-touch + parse cost;
 	// writes by construction).
 	for off := mem.Pages(0); off < total; off += chunk {
-		if ctx.Stop.Stopped() {
+		if ctx.Stopped() {
 			return
 		}
 		n := min(chunk, total-off)
@@ -67,6 +73,7 @@ func (w InMemoryAnalytics) Run(ctx *Ctx) {
 			ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPageLoad)*int64(n)))
 		}
 	}
+	ctx.milestone(label + "-loaded")
 
 	// Phase 2: scoring passes in shuffled chunk order; mostly reads with
 	// a writeFrac share of model updates.
@@ -74,7 +81,7 @@ func (w InMemoryAnalytics) Run(ctx *Ctx) {
 	for pass := 0; pass < w.Passes; pass++ {
 		order := ctx.RNG.Perm(nChunks)
 		for _, ci := range order {
-			if ctx.Stop.Stopped() {
+			if ctx.Stopped() {
 				return
 			}
 			off := mem.Pages(ci) * chunk
@@ -87,14 +94,11 @@ func (w InMemoryAnalytics) Run(ctx *Ctx) {
 				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPagePass)*int64(n)))
 			}
 		}
+		ctx.milestone(fmt.Sprintf("%s-pass-%d", label, pass+1))
 	}
 
 	// Phase 3: release everything (process exit frees swap + tmem).
 	ctx.Guest.Free(ctx.Proc, 0, total)
-	label := w.Label
-	if label == "" {
-		label = w.Name()
-	}
 	ctx.report(label, start, ctx.Proc.Now())
 }
 
@@ -149,13 +153,17 @@ func (w GraphAnalytics) Run(ctx *Ctx) {
 	}
 	total := ctx.pages(w.GraphBytes)
 	start := ctx.Proc.Now()
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
 	const chunk = mem.Pages(256)
 
 	// Phase 1: rapid graph construction (sequential writes, low CPU): the
 	// memory demand "rapidly increases ... putting significant pressure on
 	// the tmem capacity" (paper §V-B).
 	for off := mem.Pages(0); off < total; off += chunk {
-		if ctx.Stop.Stopped() {
+		if ctx.Stopped() {
 			return
 		}
 		n := min(chunk, total-off)
@@ -164,6 +172,7 @@ func (w GraphAnalytics) Run(ctx *Ctx) {
 			ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPageLoad)*int64(n)))
 		}
 	}
+	ctx.milestone(label + "-loaded")
 
 	// Phase 2: rank iterations with random gather, hot-set biased when
 	// configured (scale-free graphs concentrate traffic on high-degree
@@ -184,7 +193,7 @@ func (w GraphAnalytics) Run(ctx *Ctx) {
 	for it := 0; it < w.Iterations; it++ {
 		var done int64
 		for done < touchesPerIter {
-			if ctx.Stop.Stopped() {
+			if ctx.Stopped() {
 				return
 			}
 			batch := int64(256)
@@ -206,13 +215,10 @@ func (w GraphAnalytics) Run(ctx *Ctx) {
 			}
 			done += batch
 		}
+		ctx.milestone(fmt.Sprintf("%s-iter-%d", label, it+1))
 	}
 
 	// Phase 3: release.
 	ctx.Guest.Free(ctx.Proc, 0, total)
-	label := w.Label
-	if label == "" {
-		label = w.Name()
-	}
 	ctx.report(label, start, ctx.Proc.Now())
 }

@@ -50,6 +50,16 @@ type Ctx struct {
 	// Stop is polled between batches; when raised the workload returns
 	// early. May be nil.
 	Stop *Flag
+	// Cancelled, when non-nil, reports external cancellation (the run
+	// context); workloads poll it through Stopped alongside Stop.
+	Cancelled func() bool
+}
+
+// Stopped reports whether the workload should terminate early: the shared
+// scenario Stop flag is raised or the run's context was cancelled.
+// Workloads poll it between access batches.
+func (c *Ctx) Stopped() bool {
+	return c.Stop.Stopped() || (c.Cancelled != nil && c.Cancelled())
 }
 
 func (c *Ctx) report(label string, start, end sim.Time) {
@@ -122,7 +132,7 @@ func (u Usemem) Run(ctx *Ctx) {
 	const chunk = 256 // pages between stop checks
 	size := u.StartBytes
 	for {
-		if ctx.Stop.Stopped() {
+		if ctx.Stopped() {
 			return
 		}
 		ctx.milestone(MilestoneLabel(size))
@@ -133,7 +143,7 @@ func (u Usemem) Run(ctx *Ctx) {
 		// usemem performs "write/read operations", so every visit dirties
 		// the page — the most hostile pattern for tmem churn.
 		for off := mem.Pages(0); off < total; off += chunk {
-			if ctx.Stop.Stopped() {
+			if ctx.Stopped() {
 				return
 			}
 			n := min(chunk, total-off)
@@ -193,7 +203,7 @@ func (s Sequence) Name() string {
 // Run implements Workload.
 func (s Sequence) Run(ctx *Ctx) {
 	for _, st := range s.Steps {
-		if ctx.Stop.Stopped() {
+		if ctx.Stopped() {
 			return
 		}
 		if st.W != nil {

@@ -1,0 +1,215 @@
+package smartmem
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"smartmem/internal/core"
+)
+
+// Event is one element of a run's typed lifecycle stream. The concrete
+// members of the sum are VMStarted, Milestone, RunCompleted, SampleTick,
+// TargetUpdate and RunFinished; switch on the concrete type (or on
+// Event.Kind()) to handle them.
+type Event = core.Event
+
+// The event stream's concrete types, in rough emission order.
+type (
+	// VMStarted reports a VM's workload beginning execution.
+	VMStarted = core.VMStarted
+	// Milestone reports a workload passing a named internal milestone.
+	Milestone = core.Milestone
+	// RunCompleted reports one finished workload run measurement.
+	RunCompleted = core.RunCompleted
+	// SampleTick reports one MM sampling interval's statistics.
+	SampleTick = core.SampleTick
+	// TargetUpdate reports one per-VM tmem target sent by the MM.
+	TargetUpdate = core.TargetUpdate
+	// RunFinished is the final event, carrying the (possibly partial)
+	// Result.
+	RunFinished = core.RunFinished
+)
+
+// Observer receives a session's event stream. Calls are serialized and
+// synchronous with the simulation; see core.Observer.
+type Observer = core.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// Sink consumes a session's event stream and final result in a serialized
+// format — the machine-readable run artifacts the figures pipeline and the
+// CLIs export. Implementations live in the sinks package (sinks.JSON,
+// sinks.CSV, sinks.NDJSON); any type with these two methods plugs in.
+type Sink interface {
+	// Event consumes one lifecycle event. Returning an error stops
+	// further delivery to this sink; the first error is reported by
+	// Session.Run.
+	Event(Event) error
+	// Close flushes the sink with the run's final (possibly partial,
+	// possibly nil on setup failure) result. Called exactly once.
+	Close(*Result) error
+}
+
+// clockSetter is implemented by sinks that can stamp records with wall
+// time; Session wires its WithClock clock into them.
+type clockSetter interface{ SetClock(func() time.Time) }
+
+// Session is one constructed, inspectable node run: the configuration is
+// validated and frozen at construction, observers and sinks subscribe to
+// the typed event stream, and the run itself executes at most once via
+// Run. A Session replaces the fire-and-forget Run(Config) call when the
+// caller wants to observe or steer the run while it executes.
+type Session struct {
+	cfg   Config
+	ctx   context.Context
+	obs   []Observer
+	sinks []Sink
+	clock func() time.Time
+
+	mu      sync.Mutex
+	started bool
+	done    bool
+	res     *Result
+	err     error
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithContext attaches a cancellation context: cancelling it makes Run
+// return promptly with the context's error and a partial Result.
+func WithContext(ctx context.Context) SessionOption {
+	return func(s *Session) {
+		if ctx != nil {
+			s.ctx = ctx
+		}
+	}
+}
+
+// WithObserver subscribes an observer to the session's event stream.
+// Repeatable; observers run in registration order.
+func WithObserver(obs Observer) SessionOption {
+	return func(s *Session) {
+		if obs != nil {
+			s.obs = append(s.obs, obs)
+		}
+	}
+}
+
+// WithSink attaches a result sink: it receives every event and is closed
+// with the final result when the run ends. Repeatable.
+func WithSink(sink Sink) SessionOption {
+	return func(s *Session) {
+		if sink != nil {
+			s.sinks = append(s.sinks, sink)
+		}
+	}
+}
+
+// WithClock overrides the wall-clock used to timestamp exported records
+// (sinks only stamp wall time when a clock is set — virtual time is always
+// present). Tests inject a fixed clock for reproducible artifacts.
+func WithClock(now func() time.Time) SessionOption {
+	return func(s *Session) {
+		if now != nil {
+			s.clock = now
+		}
+	}
+}
+
+// NewSession validates cfg and constructs a runnable session. A validation
+// error (duplicate VM ids, bad page size, ...) is reported here, before
+// anything runs.
+func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, ctx: context.Background()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.clock != nil {
+		for _, sink := range s.sinks {
+			if cs, ok := sink.(clockSetter); ok {
+				cs.SetClock(s.clock)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Config returns the session's configuration as constructed.
+func (s *Session) Config() Config { return s.cfg }
+
+// Run executes the session to completion (or cancellation) and returns the
+// result. It may be called once; further calls return the stored outcome.
+// On context cancellation the returned error is the context's and the
+// Result is non-nil but partial (Result.Cancelled set). Sink errors are
+// joined into the returned error without discarding the Result.
+func (s *Session) Run() (*Result, error) {
+	s.mu.Lock()
+	if s.started {
+		res, err, done := s.res, s.err, s.done
+		s.mu.Unlock()
+		if !done {
+			return nil, errors.New("smartmem: session already running")
+		}
+		return res, err
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	var sinkErrs []error
+	obs := s.obs
+	for _, sink := range s.sinks {
+		sink := sink
+		failed := false
+		obs = append(obs, ObserverFunc(func(e Event) {
+			if failed {
+				return
+			}
+			if err := sink.Event(e); err != nil {
+				failed = true
+				sinkErrs = append(sinkErrs, err)
+			}
+		}))
+	}
+
+	res, err := core.RunWith(s.ctx, s.cfg, core.MultiObserver(obs...))
+
+	for _, sink := range s.sinks {
+		if cerr := sink.Close(res); cerr != nil {
+			sinkErrs = append(sinkErrs, cerr)
+		}
+	}
+	if len(sinkErrs) > 0 {
+		err = errors.Join(append([]error{err}, sinkErrs...)...)
+	}
+
+	s.mu.Lock()
+	s.res, s.err, s.done = res, err, true
+	s.mu.Unlock()
+	return res, err
+}
+
+// Result returns the run's outcome once Run has finished: the Result
+// (possibly partial after cancellation) and the run error. Before the run
+// completes both are nil.
+func (s *Session) Result() (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return nil, nil
+	}
+	return s.res, s.err
+}
+
+// Done reports whether the run has finished.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}

@@ -1,0 +1,238 @@
+package smartmem_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"smartmem"
+	"smartmem/internal/experiments"
+	"smartmem/sinks"
+)
+
+// buildScenario assembles a fresh runnable config for a registered
+// scenario (fresh is important: scenario coordination state like the
+// usemem stop flag lives inside the built config).
+func buildScenario(t *testing.T, slug, policy string, seed uint64) smartmem.Config {
+	t.Helper()
+	s, err := experiments.BySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Build(seed, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestSessionObserverEventsS2 is the acceptance check for the event
+// stream: an observer on an s2 run receives Milestone, SampleTick and
+// RunCompleted events (plus starts and exactly one terminal RunFinished),
+// in non-decreasing virtual-time order.
+func TestSessionObserverEventsS2(t *testing.T) {
+	var events []smartmem.Event
+	sess, err := smartmem.NewSession(
+		buildScenario(t, "s2", "smart-alloc:P=6", 11),
+		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+			events = append(events, e)
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Runs) == 0 {
+		t.Fatalf("no result runs: %+v", res)
+	}
+
+	counts := map[string]int{}
+	last := -1.0
+	for i, e := range events {
+		counts[e.Kind()]++
+		if tsec := e.When().Seconds(); tsec < last {
+			t.Fatalf("event %d (%s) went back in time: %v after %v", i, e.Kind(), tsec, last)
+		} else {
+			last = tsec
+		}
+	}
+	for _, kind := range []string{"vm-started", "milestone", "sample-tick", "run-completed", "run-finished"} {
+		if counts[kind] == 0 {
+			t.Errorf("no %s events (counts: %v)", kind, counts)
+		}
+	}
+	if counts["vm-started"] != 3 {
+		t.Errorf("vm-started count = %d, want 3", counts["vm-started"])
+	}
+	if counts["run-completed"] != len(res.Runs) {
+		t.Errorf("run-completed count = %d, want %d", counts["run-completed"], len(res.Runs))
+	}
+	if counts["sample-tick"] != int(res.SampleTicks) {
+		t.Errorf("sample-tick count = %d, want %d", counts["sample-tick"], res.SampleTicks)
+	}
+	if counts["run-finished"] != 1 {
+		t.Errorf("run-finished count = %d, want 1", counts["run-finished"])
+	}
+	fin, ok := events[len(events)-1].(smartmem.RunFinished)
+	if !ok {
+		t.Fatalf("last event is %T, want RunFinished", events[len(events)-1])
+	}
+	if fin.Cancelled || fin.Result != res {
+		t.Errorf("RunFinished = %+v", fin)
+	}
+}
+
+// TestSessionCancellation is the acceptance check for context-based
+// cancellation: cancelling mid-run (here, from the observer after the
+// third sampling tick) returns promptly with the context error AND a
+// partial Result.
+func TestSessionCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ticks := 0
+	sess, err := smartmem.NewSession(
+		buildScenario(t, "s2", "greedy", 11),
+		smartmem.WithContext(ctx),
+		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+			if _, ok := e.(smartmem.SampleTick); ok {
+				if ticks++; ticks == 3 {
+					cancel()
+				}
+			}
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := sess.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation returned no partial result")
+	}
+	if !res.Cancelled {
+		t.Error("partial result not marked Cancelled")
+	}
+	// Promptness: the full s2/greedy run takes hundreds of virtual
+	// seconds; cancelled after ~3 we must stop within a few more ticks
+	// (the kernel checks between every event) and quickly in wall time.
+	if res.SampleTicks > 4 {
+		t.Errorf("run kept sampling after cancellation: %d ticks", res.SampleTicks)
+	}
+	if res.EndTime.Seconds() > 10 {
+		t.Errorf("run kept simulating after cancellation: ended at %.1fs", res.EndTime.Seconds())
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Errorf("cancellation not prompt: %v of wall time", wall)
+	}
+	// The stored outcome matches.
+	stored, serr := sess.Result()
+	if stored != res || !errors.Is(serr, context.Canceled) {
+		t.Errorf("Result() = %v, %v", stored, serr)
+	}
+	if !sess.Done() {
+		t.Error("session not done")
+	}
+}
+
+// TestRunMatchesSession is the determinism acceptance check: the legacy
+// Run(Config) entry point and an explicit Session produce byte-identical
+// serialized results for the paper scenarios.
+func TestRunMatchesSession(t *testing.T) {
+	for _, slug := range []string{"s1", "s2", "usemem", "s3"} {
+		s, err := experiments.BySlug(slug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := s.Policies[len(s.Policies)-1] // a smart-alloc variant
+		serialize := func(res *smartmem.Result) []byte {
+			var buf bytes.Buffer
+			sink := sinks.JSON(&buf)
+			if err := sink.Close(res); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+
+		legacy, err := smartmem.Run(buildScenario(t, slug, policy, 23))
+		if err != nil {
+			t.Fatalf("%s: Run: %v", slug, err)
+		}
+		sess, err := smartmem.NewSession(buildScenario(t, slug, policy, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSession, err := sess.Run()
+		if err != nil {
+			t.Fatalf("%s: Session.Run: %v", slug, err)
+		}
+		if !bytes.Equal(serialize(legacy), serialize(viaSession)) {
+			t.Errorf("%s/%s: Run and Session results differ", slug, policy)
+		}
+	}
+}
+
+// TestSessionSinks exercises the three built-in sinks and the WithClock
+// wall-stamping on a small run.
+func TestSessionSinks(t *testing.T) {
+	cfg := smartmem.Config{
+		TmemBytes:   64 * smartmem.MiB,
+		TmemEnabled: true,
+		Policy:      smartmem.SmartAlloc{P: 2},
+		Seed:        1,
+		VMs: []smartmem.VMSpec{{
+			ID: 1, Name: "VM1", RAMBytes: 64 * smartmem.MiB,
+			Workload: smartmem.InMemoryAnalytics{
+				Label: "run", DatasetBytes: 96 * smartmem.MiB, Passes: 1,
+			},
+		}},
+	}
+	var nd, js, cs bytes.Buffer
+	fixed := time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC)
+	sess, err := smartmem.NewSession(cfg,
+		smartmem.WithSink(sinks.NDJSON(&nd)),
+		smartmem.WithSink(sinks.JSON(&js)),
+		smartmem.WithSink(sinks.CSV(&cs)),
+		smartmem.WithClock(func() time.Time { return fixed }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"ndjson": &nd, "json": &js, "csv": &cs} {
+		if buf.Len() == 0 {
+			t.Errorf("%s sink wrote nothing", name)
+		}
+	}
+	if !bytes.Contains(nd.Bytes(), []byte(`"wall":"2026-07-28T00:00:00Z"`)) {
+		t.Errorf("NDJSON missing injected wall clock:\n%.300s", nd.String())
+	}
+	if !bytes.Contains(cs.Bytes(), []byte("event,t_seconds,vm,label,value")) {
+		t.Errorf("CSV missing header:\n%.200s", cs.String())
+	}
+	if !bytes.Contains(js.Bytes(), []byte(`"schema": "smartmem/run@1"`)) {
+		t.Errorf("JSON missing schema:\n%.200s", js.String())
+	}
+	// A second Run call reports the stored outcome instead of re-running.
+	res2, err := sess.Run()
+	if err != nil || res2 == nil {
+		t.Errorf("second Run() = %v, %v", res2, err)
+	}
+}
+
+// TestSessionValidation: construction fails fast on invalid configs.
+func TestSessionValidation(t *testing.T) {
+	_, err := smartmem.NewSession(smartmem.Config{})
+	if err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -18,7 +18,11 @@
 //
 // # Quick start
 //
-//	res, err := smartmem.Run(smartmem.Config{
+// A run is a Session: construct it (the configuration is validated
+// immediately), optionally subscribe observers and sinks to its typed
+// event stream, then Run it:
+//
+//	sess, err := smartmem.NewSession(smartmem.Config{
 //		TmemBytes:   smartmem.GiB,
 //		TmemEnabled: true,
 //		Policy:      smartmem.SmartAlloc{P: 2},
@@ -27,14 +31,25 @@
 //			ID: 1, Name: "VM1", RAMBytes: 512 * smartmem.MiB,
 //			Workload: smartmem.Usemem(),
 //		}},
-//	})
+//	},
+//		smartmem.WithContext(ctx), // cancel mid-run for a partial Result
+//		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+//			if m, ok := e.(smartmem.Milestone); ok {
+//				log.Printf("%s reached %s", m.VM, m.Label)
+//			}
+//		})),
+//		smartmem.WithSink(sinks.NDJSON(os.Stdout)),
+//	)
+//	if err != nil { ... }
+//	res, err := sess.Run()
 //
-// or rerun a paper scenario:
+// The one-shot form Run(Config) remains as a thin wrapper for callers that
+// only need the final Result, and a paper scenario reruns with:
 //
 //	table, err := smartmem.ScenarioTimes("s2", nil, nil)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results.
+// See DESIGN.md for the system inventory and the event-flow architecture,
+// and README.md for measured-vs-paper results and command usage.
 package smartmem
 
 import (
@@ -106,8 +121,17 @@ type (
 // Workload is an application model runnable inside a VM.
 type Workload = workload.Workload
 
-// Run executes one simulated node run.
-func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+// Run executes one simulated node run to completion: a thin wrapper over
+// NewSession(cfg) + Session.Run for callers that only need the final
+// Result. Use NewSession directly to observe or cancel the run while it
+// executes.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
 
 // ParsePolicy builds a policy from its command-line spec, e.g. "greedy",
 // "static-alloc", "reconf-static", "smart-alloc:P=0.75".
