@@ -26,9 +26,12 @@ fmt:
 	gofmt -l -w .
 
 # Quick engine benchmarks (one iteration each); the full figure benches
-# live in bench_test.go.
+# live in bench_test.go. The store/daemon concurrency benches compare the
+# striped hot path against the shards-1 (single-mutex) baseline.
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -run '^$$' ./internal/tmem
+	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -run '^$$' ./internal/kvstore
 
 # Regenerate every paper figure and table with all CPUs.
 report:

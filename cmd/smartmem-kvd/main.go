@@ -4,19 +4,31 @@
 // artefact. It also runs the Memory Manager daemon side of the TKM
 // protocol.
 //
+// The served store is sharded (tmem.NewBackendOpts): keys hash across
+// -shards lock stripes so concurrent connections scale with cores instead
+// of serializing on one mutex. SIGINT/SIGTERM trigger a graceful stop:
+// accepting ends, in-flight connections drain (bounded by a timeout), and
+// the final store statistics are printed.
+//
 // Modes:
 //
-//	smartmem-kvd -listen :7077 -pages 262144        # KV daemon
-//	smartmem-kvd -connect :7077 -demo               # KV client demo
-//	smartmem-kvd -mm :7078 -policy smart-alloc:P=2  # MM daemon (TKM peer)
+//	smartmem-kvd -listen :7077 -pages 262144 -shards 8   # KV daemon
+//	smartmem-kvd -connect :7077 -demo                    # KV client demo
+//	smartmem-kvd -mm :7078 -policy smart-alloc:P=2       # MM daemon (TKM peer)
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
 
 	"smartmem/internal/kvstore"
 	"smartmem/internal/mem"
@@ -27,6 +39,10 @@ import (
 
 const pageSize = 4096
 
+// drainTimeout bounds how long a graceful shutdown waits for in-flight
+// connections before closing them forcibly.
+const drainTimeout = 5 * time.Second
+
 func main() {
 	var (
 		listen  = flag.String("listen", "", "serve the tmem KV store on this address")
@@ -34,28 +50,33 @@ func main() {
 		mmAddr  = flag.String("mm", "", "serve the Memory Manager (TKM protocol) on this address")
 		polSpec = flag.String("policy", "smart-alloc:P=2", "policy for -mm mode")
 		pages   = flag.Int64("pages", 65536, "tmem capacity in pages for -listen mode")
+		shards  = flag.Int("shards", 0, "store lock stripes for -listen mode; 0 means GOMAXPROCS")
 		demo    = flag.Bool("demo", false, "run put/get/flush round trips in -connect mode")
 	)
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		backend := tmem.NewBackend(mem.Pages(*pages), tmem.NewDataStore(pageSize))
+		backend := newBackend(mem.Pages(*pages), *shards)
 		l, err := net.Listen("tcp", *listen)
 		fatalIf(err)
-		fmt.Printf("smartmem-kvd: serving %d tmem pages on %s\n", *pages, l.Addr())
-		fatalIf(kvstore.NewServer(backend).Serve(l))
+		fmt.Printf("smartmem-kvd: serving %d tmem pages (%d shards) on %s\n",
+			*pages, backend.Shards(), l.Addr())
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		fatalIf(serveKV(l, backend, sigs, drainTimeout, os.Stdout))
 
 	case *mmAddr != "":
-		if _, err := policy.Parse(*polSpec); err != nil {
-			fatalIf(err)
-		}
+		// Parse the policy spec exactly once. The parsed policies are
+		// stateless values; the only stateful layer is the dedup wrapper,
+		// and every TKM connection still gets a fresh one from the factory.
+		pol, err := policy.Parse(*polSpec)
+		fatalIf(err)
 		l, err := net.Listen("tcp", *mmAddr)
 		fatalIf(err)
 		fmt.Printf("smartmem-kvd: Memory Manager (%s) listening on %s\n", *polSpec, l.Addr())
 		fatalIf(tkm.ListenAndServeMM(l, func() tkm.PolicyFunc {
-			p, _ := policy.Parse(*polSpec)
-			return policy.NewDedup(p)
+			return policy.NewDedup(pol)
 		}))
 
 	case *connect != "":
@@ -64,6 +85,59 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "smartmem-kvd: one of -listen, -connect or -mm is required")
 		os.Exit(2)
+	}
+}
+
+// newBackend builds the daemon's sharded data store. shards <= 0 sizes the
+// stripe count to GOMAXPROCS (tmem rounds it up to a power of two).
+func newBackend(pages mem.Pages, shards int) *tmem.Backend {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return tmem.NewBackendOpts(pages, tmem.Options{
+		Shards:   shards,
+		NewStore: func() tmem.PageStore { return tmem.NewDataStore(pageSize) },
+	})
+}
+
+// serveKV serves the KV protocol on l until a shutdown signal arrives,
+// then drains connections (forcing stragglers closed after drain) and
+// prints the final store statistics.
+func serveKV(l net.Listener, backend *tmem.Backend, sigs <-chan os.Signal, drain time.Duration, out io.Writer) error {
+	srv := kvstore.NewServer(backend)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(out, "smartmem-kvd: %v: draining connections\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(out, "smartmem-kvd: forced close after drain timeout: %v\n", err)
+		}
+		if err := <-errc; err != nil {
+			return err
+		}
+		printFinalStats(out, backend)
+		return nil
+	}
+}
+
+// printFinalStats reports the store's end state: capacity in use, host
+// footprint, and cumulative per-VM operation counts.
+func printFinalStats(w io.Writer, b *tmem.Backend) {
+	used := b.TotalPages() - b.FreePages()
+	fmt.Fprintf(w, "smartmem-kvd: final store state: %d/%d pages used, footprint %v\n",
+		used, b.TotalPages(), mem.Bytes(b.Footprint()))
+	for _, vm := range b.VMs() {
+		c, ok := b.Counts(vm)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "smartmem-kvd:   vm %d: puts %d/%d gets %d/%d flushes %d evicted %d\n",
+			vm, c.PutsSucc, c.PutsTotal, c.GetsHit, c.GetsTotal, c.Flushes, c.EphEvicted)
 	}
 }
 

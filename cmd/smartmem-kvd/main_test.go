@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"smartmem/internal/kvstore"
+	"smartmem/internal/tmem"
+)
+
+func TestNewBackendShardSizing(t *testing.T) {
+	if got := newBackend(1024, 4).Shards(); got != 4 {
+		t.Errorf("Shards = %d, want 4", got)
+	}
+	if got := newBackend(1024, 3).Shards(); got != 4 {
+		t.Errorf("Shards(3) = %d, want 4 (power of two)", got)
+	}
+	if got := newBackend(1024, 0).Shards(); got < 1 {
+		t.Errorf("Shards(0) = %d, want >= 1 (GOMAXPROCS default)", got)
+	}
+	if ps := newBackend(16, 1).PageSize(); int(ps) != pageSize {
+		t.Errorf("PageSize = %d, want %d", ps, pageSize)
+	}
+}
+
+// End-to-end loopback test: start the daemon's serving loop, run
+// concurrent put/get/flush round trips from several clients, then deliver
+// a signal and verify the graceful shutdown path (drain + final stats).
+func TestKVDaemonEndToEnd(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	backend := newBackend(4096, 4)
+	sigs := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	served := make(chan error, 1)
+	go func() { served <- serveKV(l, backend, sigs, time.Second, &out) }()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(vm tmem.VMID) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			cl := kvstore.NewClient(conn, pageSize)
+			defer cl.Close()
+			pool, err := cl.NewPool(vm, tmem.Persistent)
+			if err != nil {
+				errs <- err
+				return
+			}
+			page := make([]byte, pageSize)
+			for j := 0; j < 64; j++ {
+				page[0] = byte(vm)
+				key := tmem.Key{Pool: pool, Object: tmem.ObjectID(j % 3), Index: tmem.PageIndex(j)}
+				if st, err := cl.Put(key, page); err != nil || st != tmem.STmem {
+					errs <- fmt.Errorf("vm %d put %d: status %v, err %v", vm, j, st, err)
+					return
+				}
+				st, got, err := cl.Get(key)
+				if err != nil || st != tmem.STmem || len(got) == 0 || got[0] != byte(vm) {
+					errs <- fmt.Errorf("vm %d get %d: status %v, data %v, err %v", vm, j, st, got, err)
+					return
+				}
+				if j%2 == 0 {
+					if st, err := cl.FlushPage(key); err != nil || st != tmem.STmem {
+						errs <- fmt.Errorf("vm %d flush %d: status %v, err %v", vm, j, st, err)
+						return
+					}
+				}
+			}
+		}(tmem.VMID(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveKV = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveKV did not return after SIGTERM")
+	}
+
+	if err := backend.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	log := out.String()
+	if !strings.Contains(log, "draining connections") {
+		t.Errorf("shutdown log missing drain notice:\n%s", log)
+	}
+	if !strings.Contains(log, "final store state") {
+		t.Errorf("shutdown log missing final stats:\n%s", log)
+	}
+	for vm := 1; vm <= clients; vm++ {
+		c, ok := backend.Counts(tmem.VMID(vm))
+		if !ok || c.PutsSucc != 64 || c.GetsHit != 64 || c.Flushes != 32 {
+			t.Errorf("vm %d counts = %+v (ok=%v), want 64 puts, 64 gets, 32 flushes", vm, c, ok)
+		}
+	}
+	// New connections are refused after shutdown.
+	if c, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		c.Close()
+		t.Error("daemon still accepting after shutdown")
+	}
+}
+
+// A client that never disconnects must not wedge the shutdown: the drain
+// deadline forces it closed and serveKV still reports final stats.
+func TestKVDaemonForcedDrain(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	backend := newBackend(256, 2)
+	sigs := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	served := make(chan error, 1)
+	go func() { served <- serveKV(l, backend, sigs, 50*time.Millisecond, &out) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cl := kvstore.NewClient(conn, pageSize)
+	if _, err := cl.NewPool(1, tmem.Persistent); err != nil {
+		t.Fatal(err)
+	}
+	// Leave the connection open and signal shutdown.
+	sigs <- syscall.SIGINT
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveKV = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveKV hung on a held connection")
+	}
+	if !strings.Contains(out.String(), "forced close after drain timeout") {
+		t.Errorf("log missing forced-close notice:\n%s", out.String())
+	}
+}

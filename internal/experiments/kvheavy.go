@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartmem/internal/core"
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+	"smartmem/internal/workload"
+)
+
+// KVHeavyScenario drives the tmem store as a pure key–value engine under a
+// heavy mixed operation load: four 512 MiB graph-analytics readers whose
+// refault streams hammer cleancache (ephemeral puts, destructive gets,
+// LRU evictions) share the node with two usemem churners issuing steady
+// frontswap put/flush cycles, all against a pool sized at a fraction of
+// aggregate demand. Where the Table II scenarios probe policy quality,
+// kv-heavy probes store mechanics — it generates the densest op mix per
+// unit of virtual time of any registered scenario, the simulation-side
+// counterpart of load-testing smartmem-kvd. Not a paper scenario.
+var KVHeavyScenario = &Scenario{
+	Name: "KV Heavy",
+	Slug: "kv-heavy",
+	Description: "VM1–VM4: 512MB RAM running graph-analytics with cleancache " +
+		"enabled (ephemeral put/get/evict pressure); VM5, VM6: 512MB RAM " +
+		"running usemem churn loops (frontswap put/flush) until all four " +
+		"analytics runs complete. Stresses the full key–value op mix.",
+	TmemBytes: 512 * mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "KV-heavy",
+	SeriesFigure: "KV-heavy series",
+	RunLabels:    []string{"graph"},
+	build: func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
+		cfg := baseConfig(seed, pol, tmemOn, 512*mem.MiB)
+		cfg.Cleancache = true
+		stop := &workload.Flag{}
+		cfg.Stop = stop
+
+		// All notifyWorkload callbacks run inside one simulation kernel;
+		// a plain counter is safe.
+		const readers = 4
+		finished := 0
+		readerDone := func() {
+			finished++
+			if finished == readers {
+				stop.Set()
+			}
+		}
+
+		reader := workload.GraphAnalytics{
+			Label:                 "graph",
+			GraphBytes:            640 * mem.MiB,
+			Iterations:            6,
+			TouchesPerPagePerIter: 1.6,
+			CPUPerTouch:           400 * sim.Microsecond,
+			CPUPerPageLoad:        2500 * sim.Microsecond,
+			WriteFraction:         0.04,
+			HotFraction:           0.40,
+			HotProb:               0.975,
+		}
+		for i := 1; i <= readers; i++ {
+			cfg.VMs = append(cfg.VMs, core.VMSpec{
+				ID:       tmem.VMID(i),
+				Name:     fmt.Sprintf("VM%d", i),
+				RAMBytes: 512 * mem.MiB,
+				Workload: notifyWorkload{inner: reader, done: readerDone},
+			})
+		}
+		churner := workload.Usemem{
+			StartBytes: 128 * mem.MiB,
+			StepBytes:  128 * mem.MiB,
+			MaxBytes:   384 * mem.MiB,
+			CPUPerPage: 100 * sim.Microsecond,
+		}
+		for i := readers + 1; i <= readers+2; i++ {
+			cfg.VMs = append(cfg.VMs, core.VMSpec{
+				ID:                 tmem.VMID(i),
+				Name:               fmt.Sprintf("VM%d", i),
+				RAMBytes:           512 * mem.MiB,
+				KernelReserveBytes: 140 * mem.MiB,
+				Workload:           churner,
+			})
+		}
+		return cfg
+	},
+}

@@ -135,4 +135,5 @@ func init() {
 	RegisterConstructor(scaleConstructor)
 	Register(mustScale("scale-6"))
 	Register(ChurnScenario)
+	Register(KVHeavyScenario)
 }

@@ -17,13 +17,22 @@
 // carries the VM id and key.Object the pool kind; the response status
 // carries the new pool id, which is non-negative and therefore disjoint
 // from the negative error statuses).
+//
+// Requests are processed in order per connection but may be pipelined: the
+// server keeps reading while responses accumulate in a buffered writer
+// that is flushed when the inbound stream drains. Combined with a sharded
+// backend (tmem.NewBackendOpts) the goroutine-per-connection server scales
+// across cores instead of serializing on one store mutex.
 package kvstore
 
 import (
+	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 
 	"smartmem/internal/tmem"
 )
@@ -39,10 +48,22 @@ const (
 
 const reqHeaderSize = 1 + 16 + 4
 
+// connBufSize sizes the per-connection buffered reader and writer; large
+// enough to hold several pipelined 4 KiB-page requests per syscall.
+const connBufSize = 32 * 1024
+
 // Server serves the KV protocol over a listener backed by one tmem
-// backend shared by all connections.
+// backend shared by all connections. Request handling is pipelined: a
+// client may stream many requests without waiting for responses, and the
+// server batches responses until the inbound buffer drains.
 type Server struct {
 	backend *tmem.Backend
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	draining  bool
+	wg        sync.WaitGroup
 }
 
 // NewServer wraps a backend.
@@ -50,32 +71,116 @@ func NewServer(b *tmem.Backend) *Server {
 	if b == nil {
 		panic("kvstore: nil backend")
 	}
-	return &Server{backend: b}
+	return &Server{
+		backend:   b,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
 }
 
 // Backend returns the underlying tmem backend.
 func (s *Server) Backend() *tmem.Backend { return s.backend }
 
-// Serve accepts and serves connections until the listener closes.
+// Serve accepts and serves connections until the listener closes. After a
+// Shutdown-initiated stop it returns nil instead of the accept error.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("kvstore: server is shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
 	for {
 		c, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
 			return err
 		}
-		go func() { _ = s.ServeConn(c) }()
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
+			_ = s.ServeConn(c)
+		}()
 	}
 }
 
-// ServeConn serves one connection until EOF or protocol error.
+// Shutdown gracefully stops the server: it closes every listener so no new
+// connection is accepted, then waits for in-flight connections served via
+// Serve to drain. When ctx expires first, the remaining connections are
+// closed forcibly and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// ServeConn serves one connection until EOF or protocol error. All buffers
+// (header, payload, page, response) are allocated once per connection and
+// reused across requests. Responses are flushed only once the inbound
+// buffer is empty, so a pipelining client pays one write syscall per batch
+// rather than per request.
 func (s *Server) ServeConn(c net.Conn) error {
 	defer c.Close()
 	pageSize := int(s.backend.PageSize())
+	br := bufio.NewReaderSize(c, connBufSize)
+	bw := bufio.NewWriterSize(c, connBufSize)
+	// On an error return, responses to already-executed pipelined requests
+	// may still sit in bw; deliver them before the deferred Close (defers
+	// run last-in-first-out). Flush errors are moot — the conn is dying.
+	defer func() { _ = bw.Flush() }()
 	hdr := make([]byte, reqHeaderSize)
 	buf := make([]byte, pageSize)
 	page := make([]byte, pageSize)
+	resp := make([]byte, 0, 5+pageSize)
 	for {
-		if _, err := io.ReadFull(c, hdr); err != nil {
+		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF {
 				return nil
 			}
@@ -90,7 +195,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 			return fmt.Errorf("kvstore: payload %d exceeds page size %d", n, pageSize)
 		}
 		data := buf[:n]
-		if _, err := io.ReadFull(c, data); err != nil {
+		if _, err := io.ReadFull(br, data); err != nil {
 			return err
 		}
 
@@ -114,12 +219,20 @@ func (s *Server) ServeConn(c net.Conn) error {
 		default:
 			return fmt.Errorf("kvstore: unknown op %d", hdr[0])
 		}
-		resp := make([]byte, 0, 5+len(payload))
+		resp = resp[:0]
 		resp = append(resp, byte(int8(status)))
 		resp = binary.BigEndian.AppendUint32(resp, uint32(len(payload)))
 		resp = append(resp, payload...)
-		if _, err := c.Write(resp); err != nil {
+		if _, err := bw.Write(resp); err != nil {
 			return err
+		}
+		// Pipelining: flush only when no further request is already
+		// buffered — the next ReadFull would otherwise block with
+		// responses stranded in the write buffer.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		}
 	}
 }

@@ -1,0 +1,255 @@
+package kvstore
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+func shardedBackend(pages mem.Pages, shards int) *tmem.Backend {
+	return tmem.NewBackendOpts(pages, tmem.Options{
+		Shards:   shards,
+		NewStore: func() tmem.PageStore { return tmem.NewDataStore(pageSize) },
+	})
+}
+
+// The wire semantics must be independent of the backend's shard count.
+func TestShardedBackendOverWire(t *testing.T) {
+	srv := NewServer(shardedBackend(256, 8))
+	a, b := net.Pipe()
+	go func() { _ = srv.ServeConn(b) }()
+	cl := NewClient(a, pageSize)
+	defer cl.Close()
+
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := tmem.Key{Pool: pool, Object: tmem.ObjectID(i % 3), Index: tmem.PageIndex(i)}
+		if st, err := cl.Put(key, page(byte(i))); err != nil || st != tmem.STmem {
+			t.Fatalf("Put %d = %v, %v", i, st, err)
+		}
+		st, got, err := cl.Get(key)
+		if err != nil || st != tmem.STmem || got[0] != byte(i) {
+			t.Fatalf("Get %d = %v, %v", i, st, err)
+		}
+	}
+	if err := srv.Backend().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// A client may stream many requests before reading any response; the
+// server must answer all of them, in order.
+func TestPipelinedRequests(t *testing.T) {
+	srv := NewServer(shardedBackend(256, 4))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cl := NewClient(conn, pageSize)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write a burst of puts followed by one get, without reading a single
+	// response in between.
+	const burst = 32
+	var reqs []byte
+	for i := 0; i < burst; i++ {
+		key := tmem.Key{Pool: pool, Object: 7, Index: tmem.PageIndex(i)}
+		reqs = append(reqs, OpPut)
+		reqs = key.AppendWire(reqs)
+		reqs = binary.BigEndian.AppendUint32(reqs, 1)
+		reqs = append(reqs, byte(i))
+	}
+	last := tmem.Key{Pool: pool, Object: 7, Index: 5}
+	reqs = append(reqs, OpGet)
+	reqs = last.AppendWire(reqs)
+	reqs = binary.BigEndian.AppendUint32(reqs, 0)
+	if _, err := conn.Write(reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < burst+1; i++ {
+		var hdr [5]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		st := tmem.Status(int8(hdr[0]))
+		if st != tmem.STmem {
+			t.Fatalf("response %d status = %v", i, st)
+		}
+		n := binary.BigEndian.Uint32(hdr[1:5])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.Fatal(err)
+		}
+		if i == burst && payload[0] != 5 {
+			t.Errorf("pipelined get returned wrong page: %#x", payload[0])
+		}
+	}
+}
+
+// Shutdown stops accepting, lets idle-free connections drain, and forces
+// the stragglers closed once the context expires.
+func TestShutdownDrainsAndForces(t *testing.T) {
+	srv := NewServer(shardedBackend(128, 2))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cl := NewClient(conn, pageSize)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := cl.Put(tmem.Key{Pool: pool, Object: 1, Index: 1}, page(0xEE)); err != nil || st != tmem.STmem {
+		t.Fatalf("Put = %v, %v", st, err)
+	}
+
+	// The client stays connected, so the drain must time out and force
+	// the connection closed.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Errorf("Shutdown = %v, want DeadlineExceeded (held connection)", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("Serve after Shutdown = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+
+	// New connections must be rejected.
+	if c2, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		c2.Close()
+		t.Error("listener still accepting after Shutdown")
+	}
+	// The store survives with its state intact.
+	if used := srv.Backend().UsedBy(1); used != 1 {
+		t.Errorf("backend used = %d after shutdown, want 1", used)
+	}
+}
+
+func TestShutdownWithNoConnections(t *testing.T) {
+	srv := NewServer(shardedBackend(16, 1))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("Serve = %v, want nil after graceful stop", err)
+	}
+	// Serve on a shut-down server fails fast.
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err == nil {
+		defer l2.Close()
+		if err := srv.Serve(l2); err == nil {
+			t.Error("Serve on shut-down server did not fail")
+		}
+	}
+}
+
+// benchServer measures end-to-end KV throughput over TCP loopback with one
+// connection per benchmark goroutine.
+func benchServer(b *testing.B, shards int) {
+	srv := NewServer(shardedBackend(1<<18, shards))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = srv.Serve(l) }()
+
+	var mu sync.Mutex
+	var worker uint64
+	payload := page(0xAB)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		cl := NewClient(conn, pageSize)
+		defer cl.Close()
+		mu.Lock()
+		worker++
+		vm := tmem.VMID(worker)
+		mu.Unlock()
+		pool, err := cl.NewPool(vm, tmem.Persistent)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			key := tmem.Key{Pool: pool, Object: tmem.ObjectID(i >> 12), Index: tmem.PageIndex(i)}
+			if st, err := cl.Put(key, payload); err != nil || st != tmem.STmem {
+				b.Errorf("Put = %v, %v", st, err)
+				return
+			}
+			if st, _, err := cl.Get(key); err != nil || st != tmem.STmem {
+				b.Errorf("Get = %v, %v", st, err)
+				return
+			}
+			if st, err := cl.FlushPage(key); err != nil || st != tmem.STmem {
+				b.Errorf("Flush = %v, %v", st, err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkKVServer compares the daemon's end-to-end throughput on a
+// single-stripe store (the old global mutex) against a striped one. Run
+// with -cpu matching the serving cores to see the scaling.
+func BenchmarkKVServer(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 8)
+	}
+	for _, n := range counts {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) { benchServer(b, n) })
+	}
+}

@@ -58,6 +58,10 @@ func New(backend *tmem.Backend, mm MM) *TKM {
 // Tick performs one full VIRQ cycle: sample statistics, deliver them to
 // the MM, apply any returned targets. It returns the sample and targets
 // for observability (the node's monitor records both).
+//
+// The sample is aggregated from the backend's striped atomic counters
+// without taking any store lock, so a Tick never stalls the put/get/flush
+// data path — the sharded store keeps serving while the MM deliberates.
 func (t *TKM) Tick() (tmem.MemStats, []tmem.TargetUpdate, error) {
 	t.seq++
 	t.TicksRun++

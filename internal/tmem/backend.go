@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"smartmem/internal/mem"
 )
@@ -16,20 +17,28 @@ const Unlimited = mem.Pages(math.MaxInt64)
 // entry is one stored tmem page.
 type entry struct {
 	key    Key
-	vm     VMID
+	pool   *Pool
+	acct   *vmAccount
 	frame  mem.FrameNo
 	handle Handle
-	// Ephemeral entries are linked into the backend-wide eviction LRU.
+	// Ephemeral entries are linked into their shard's eviction LRU; stamp
+	// is the global LRU clock value at link time (cross-shard age order).
+	stamp      uint64
 	prev, next *entry
 }
 
 // Pool is one guest-created tmem pool.
 type Pool struct {
-	id      PoolID
-	vm      VMID
-	kind    PoolKind
-	objects map[ObjectID]map[PageIndex]*entry
-	pages   mem.Pages
+	id   PoolID
+	vm   VMID
+	kind PoolKind
+	acct *vmAccount
+	// pages counts stored pages; atomic because a pool's entries spread
+	// across shards.
+	pages atomic.Int64
+	// dead flips when the pool is destroyed. Entry inserts re-check it
+	// under the shard lock, so no insert can race past a purge.
+	dead atomic.Bool
 }
 
 // ID returns the pool identifier.
@@ -42,195 +51,392 @@ func (p *Pool) VM() VMID { return p.vm }
 func (p *Pool) Kind() PoolKind { return p.kind }
 
 // Pages returns the number of pages currently stored in the pool.
-func (p *Pool) Pages() mem.Pages { return p.pages }
+func (p *Pool) Pages() mem.Pages { return mem.Pages(p.pages.Load()) }
 
 // vmAccount is the hypervisor's per-VM bookkeeping (Table I,
-// vm_data_hyp[id].*), plus cumulative diagnostics.
+// vm_data_hyp[id].*), plus cumulative diagnostics. Every field is atomic:
+// the hot path updates them from whichever shard holds the page, and the
+// statistics sampler aggregates a snapshot without stopping the world.
 type vmAccount struct {
 	id       VMID
-	tmemUsed mem.Pages
-	mmTarget mem.Pages
+	tmemUsed atomic.Int64
+	mmTarget atomic.Int64
 
 	// Interval counters, reset at each statistics sample (1 s).
-	putsTotal uint64
-	putsSucc  uint64
+	putsTotal atomic.Uint64
+	putsSucc  atomic.Uint64
 
 	// Cumulative counters (never reset). cumulPutsFailed feeds
 	// reconf-static's activity detection (Algorithm 3).
-	cumulPutsTotal  uint64
-	cumulPutsSucc   uint64
-	cumulGetsTotal  uint64
-	cumulGetsHit    uint64
-	cumulFlushes    uint64
-	cumulEphEvicted uint64 // ephemeral pages evicted from this VM
+	cumulPutsTotal  atomic.Uint64
+	cumulPutsSucc   atomic.Uint64
+	cumulGetsTotal  atomic.Uint64
+	cumulGetsHit    atomic.Uint64
+	cumulFlushes    atomic.Uint64
+	cumulEphEvicted atomic.Uint64 // ephemeral pages evicted from this VM
 }
 
-func (a *vmAccount) cumulPutsFailed() uint64 { return a.cumulPutsTotal - a.cumulPutsSucc }
+func newVMAccount(vm VMID) *vmAccount {
+	a := &vmAccount{id: vm}
+	a.mmTarget.Store(int64(Unlimited))
+	return a
+}
 
-// Backend is the hypervisor tmem implementation: the single fine-grained
-// page allocator plus target enforcement of paper Algorithm 1. All methods
-// are safe for concurrent use.
+func (a *vmAccount) target() mem.Pages { return mem.Pages(a.mmTarget.Load()) }
+
+func (a *vmAccount) cumulPutsFailed() uint64 {
+	// Load succ before total: a concurrent put bumps total first, so the
+	// later total load can only be >= the earlier succ load and the
+	// unsigned subtraction cannot wrap.
+	succ := a.cumulPutsSucc.Load()
+	return a.cumulPutsTotal.Load() - succ
+}
+
+// Backend is the hypervisor tmem implementation: the fine-grained page
+// allocator plus target enforcement of paper Algorithm 1. All methods are
+// safe for concurrent use.
+//
+// The store is sharded: keys hash to one of N lock stripes, each owning
+// its slice of the entry maps, its own page store, one segment of the
+// ephemeral LRU and one partition of the frame space. Capacity stays
+// global — per-VM targets are enforced through atomic accounts, exhausted
+// stripes steal frames from siblings, and eviction picks the node-wide
+// oldest ephemeral page across all stripes. With a single shard (the
+// NewBackend default) every operation funnels through one lock in the
+// exact order it was issued, which keeps the simulation path deterministic.
 type Backend struct {
-	mu       sync.Mutex
-	alloc    *mem.FrameAllocator
-	store    PageStore
+	shards    []*shard
+	shardMask uint64
+
+	totalPages mem.Pages
+	// freePages mirrors the summed allocator state (node_info.free_tmem).
+	freePages atomic.Int64
+	// lruClock stamps ephemeral entries for cross-shard age comparison.
+	lruClock atomic.Uint64
+
+	poolMu   sync.RWMutex
 	pools    map[PoolID]*Pool
 	nextPool PoolID
-	vms      map[VMID]*vmAccount
 
-	// Ephemeral eviction LRU: lru.next is the oldest entry.
-	lru entry // sentinel
+	vmMu sync.RWMutex
+	vms  map[VMID]*vmAccount
 
 	pageSize mem.Bytes
 }
 
+// Options configures a sharded backend (see NewBackendOpts).
+type Options struct {
+	// Shards is the number of lock stripes, rounded up to a power of two
+	// and clamped to [1, 256]. 0 and 1 both select the deterministic
+	// single-stripe mode NewBackend uses.
+	Shards int
+	// NewStore constructs one page store per shard. Every store must
+	// report the same page size. Required.
+	NewStore func() PageStore
+}
+
+// maxShards bounds the stripe count; past the core count of any realistic
+// host more stripes only dilute the frame partitions.
+const maxShards = 256
+
+func normShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // NewBackend creates a tmem backend managing totalPages frames whose page
 // contents are retained in store. The store's page size defines the page
-// size of the node.
+// size of the node. The backend has a single shard: operations serialize
+// in issue order, the deterministic mode the simulator depends on. Servers
+// wanting multi-core throughput use NewBackendOpts.
 func NewBackend(totalPages mem.Pages, store PageStore) *Backend {
-	b := &Backend{
-		alloc:    mem.NewFrameAllocator(totalPages),
-		store:    store,
-		pools:    make(map[PoolID]*Pool),
-		vms:      make(map[VMID]*vmAccount),
-		pageSize: mem.Bytes(store.PageSize()),
+	if store == nil {
+		panic("tmem: nil page store")
 	}
-	b.lru.prev = &b.lru
-	b.lru.next = &b.lru
+	return newBackend(totalPages, []PageStore{store})
+}
+
+// NewBackendOpts creates a sharded backend: opts.Shards lock stripes, each
+// backed by its own store from opts.NewStore. Observable put/get/flush
+// semantics match NewBackend; only the order in which concurrent
+// operations interleave (and therefore which ephemeral page is "oldest"
+// within one LRU clock tick) may differ.
+func NewBackendOpts(totalPages mem.Pages, opts Options) *Backend {
+	if opts.NewStore == nil {
+		panic("tmem: Options.NewStore is required")
+	}
+	n := normShards(opts.Shards)
+	stores := make([]PageStore, n)
+	for i := range stores {
+		stores[i] = opts.NewStore()
+		if stores[i] == nil {
+			panic("tmem: Options.NewStore returned nil")
+		}
+		if stores[i].PageSize() != stores[0].PageSize() {
+			panic(fmt.Sprintf("tmem: shard stores disagree on page size: %d vs %d",
+				stores[i].PageSize(), stores[0].PageSize()))
+		}
+	}
+	return newBackend(totalPages, stores)
+}
+
+func newBackend(totalPages mem.Pages, stores []PageStore) *Backend {
+	if totalPages < 0 {
+		panic("tmem: negative page count")
+	}
+	n := len(stores)
+	b := &Backend{
+		shards:     make([]*shard, n),
+		shardMask:  uint64(n - 1),
+		totalPages: totalPages,
+		pools:      make(map[PoolID]*Pool),
+		vms:        make(map[VMID]*vmAccount),
+		pageSize:   mem.Bytes(stores[0].PageSize()),
+	}
+	b.freePages.Store(int64(totalPages))
+	// Partition the frame space: the first (total mod n) stripes hold one
+	// extra frame. Frame numbers are globally unique (base + local index).
+	q, r := totalPages/mem.Pages(n), totalPages%mem.Pages(n)
+	var base mem.FrameNo
+	for i := range b.shards {
+		size := q
+		if mem.Pages(i) < r {
+			size++
+		}
+		b.shards[i] = newShard(stores[i])
+		b.shards[i].frames = frameSource{base: base, alloc: mem.NewFrameAllocator(size)}
+		base += mem.FrameNo(size)
+	}
 	return b
+}
+
+// Shards returns the number of lock stripes.
+func (b *Backend) Shards() int { return len(b.shards) }
+
+// shardFor maps a key to its lock stripe.
+func (b *Backend) shardFor(key Key) *shard {
+	if b.shardMask == 0 {
+		return b.shards[0]
+	}
+	return b.shards[key.hash()&b.shardMask]
+}
+
+// sourceOf returns the frame source owning frame (stripes hold contiguous
+// ascending ranges, so this is a binary search over the bases).
+func (b *Backend) sourceOf(frame mem.FrameNo) *frameSource {
+	i := sort.Search(len(b.shards), func(i int) bool {
+		return b.shards[i].frames.base > frame
+	}) - 1
+	return &b.shards[i].frames
+}
+
+// allocFrame grabs a free frame, preferring sh's own stripe and stealing
+// from siblings when it is exhausted. Returns false only when every stripe
+// is empty — i.e. node free_tmem is genuinely zero.
+func (b *Backend) allocFrame(sh *shard) (mem.FrameNo, bool) {
+	if f, ok := sh.frames.take(); ok {
+		b.freePages.Add(-1)
+		return f, true
+	}
+	for _, other := range b.shards {
+		if other == sh {
+			continue
+		}
+		if f, ok := other.frames.take(); ok {
+			b.freePages.Add(-1)
+			return f, true
+		}
+	}
+	return mem.NoFrame, false
+}
+
+// releaseFrame returns a frame to the stripe that owns it.
+func (b *Backend) releaseFrame(frame mem.FrameNo) {
+	b.sourceOf(frame).give(frame)
+	b.freePages.Add(1)
 }
 
 // PageSize returns the node page size in bytes.
 func (b *Backend) PageSize() mem.Bytes { return b.pageSize }
 
 // TotalPages returns the total tmem capacity in pages (node_info.total_tmem).
-func (b *Backend) TotalPages() mem.Pages { return b.alloc.Total() }
+func (b *Backend) TotalPages() mem.Pages { return b.totalPages }
 
 // FreePages returns the number of free tmem pages (node_info.free_tmem).
-func (b *Backend) FreePages() mem.Pages {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.alloc.Free()
-}
+func (b *Backend) FreePages() mem.Pages { return mem.Pages(b.freePages.Load()) }
 
 // RegisterVM creates the hypervisor-side account for a VM. Registering an
 // already-known VM is a no-op. New VMs start with an Unlimited target
 // (greedy default) — management policies overwrite it on their first tick.
 func (b *Backend) RegisterVM(vm VMID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.registerLocked(vm)
+	b.register(vm)
 }
 
-func (b *Backend) registerLocked(vm VMID) *vmAccount {
+func (b *Backend) register(vm VMID) *vmAccount {
+	b.vmMu.Lock()
+	defer b.vmMu.Unlock()
 	a, ok := b.vms[vm]
 	if !ok {
-		a = &vmAccount{id: vm, mmTarget: Unlimited}
+		a = newVMAccount(vm)
 		b.vms[vm] = a
 	}
 	return a
 }
 
+func (b *Backend) account(vm VMID) *vmAccount {
+	b.vmMu.RLock()
+	defer b.vmMu.RUnlock()
+	return b.vms[vm]
+}
+
+// pool resolves a live pool by id.
+func (b *Backend) pool(id PoolID) *Pool {
+	b.poolMu.RLock()
+	defer b.poolMu.RUnlock()
+	return b.pools[id]
+}
+
 // UnregisterVM removes a VM and destroys all of its pools (VM shutdown).
+// The pool removal and account deletion happen under one poolMu critical
+// section so a concurrent NewPool for the same VM either completes first
+// (and its pool is destroyed here) or starts after (and re-creates a fresh
+// account) — it can never attach a live pool to a deleted account.
 func (b *Backend) UnregisterVM(vm VMID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.poolMu.Lock()
+	var doomed []*Pool
 	for id, p := range b.pools {
 		if p.vm == vm {
-			b.destroyPoolLocked(id)
+			doomed = append(doomed, p)
+			delete(b.pools, id)
 		}
 	}
+	b.vmMu.Lock()
 	delete(b.vms, vm)
+	b.vmMu.Unlock()
+	b.poolMu.Unlock()
+	b.purgePools(doomed)
 }
 
 // NewPool creates a tmem pool for vm (the guest's kernel-module init path)
-// and returns its identifier.
+// and returns its identifier. The VM account is resolved under poolMu (see
+// UnregisterVM for why the two must be atomic).
 func (b *Backend) NewPool(vm VMID, kind PoolKind) PoolID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.registerLocked(vm)
+	b.poolMu.Lock()
+	defer b.poolMu.Unlock()
+	a := b.register(vm)
 	id := b.nextPool
 	b.nextPool++
-	b.pools[id] = &Pool{
-		id:      id,
-		vm:      vm,
-		kind:    kind,
-		objects: make(map[ObjectID]map[PageIndex]*entry),
-	}
+	b.pools[id] = &Pool{id: id, vm: vm, kind: kind, acct: a}
 	return id
 }
 
 // DestroyPool flushes every page of the pool and removes it.
 func (b *Backend) DestroyPool(id PoolID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.pools[id]; !ok {
+	b.poolMu.Lock()
+	p, ok := b.pools[id]
+	if !ok {
+		b.poolMu.Unlock()
 		return fmt.Errorf("tmem: destroy of unknown pool %d", id)
 	}
-	b.destroyPoolLocked(id)
+	delete(b.pools, id)
+	b.poolMu.Unlock()
+	b.purgePools([]*Pool{p})
 	return nil
 }
 
-func (b *Backend) destroyPoolLocked(id PoolID) {
-	p := b.pools[id]
-	for _, obj := range p.objects {
-		for _, e := range obj {
-			b.dropEntryLocked(p, e)
-		}
-	}
-	delete(b.pools, id)
-}
-
-// lruPush appends e as most-recently-used.
-func (b *Backend) lruPush(e *entry) {
-	e.prev = b.lru.prev
-	e.next = &b.lru
-	b.lru.prev.next = e
-	b.lru.prev = e
-}
-
-func (b *Backend) lruRemove(e *entry) {
-	if e.prev == nil {
+// purgePools marks every pool dead and drops their entries in a single
+// sweep over the shards (one pass regardless of how many pools die — the
+// VM-shutdown path hands over all of a VM's pools at once). The dead flags
+// are set before any shard is scanned and inserts re-check them under the
+// shard lock, so an insert either lands before the sweep reaches its shard
+// (and is purged) or observes dead and fails.
+func (b *Backend) purgePools(pools []*Pool) {
+	if len(pools) == 0 {
 		return
 	}
-	e.prev.next = e.next
-	e.next.prev = e.prev
-	e.prev, e.next = nil, nil
+	doomed := make(map[PoolID]bool, len(pools))
+	for _, p := range pools {
+		p.dead.Store(true)
+		doomed[p.id] = true
+	}
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for k, obj := range sh.objects {
+			if !doomed[k.pool] {
+				continue
+			}
+			for _, e := range obj {
+				b.dropEntry(sh, e)
+			}
+			delete(sh.objects, k)
+		}
+		sh.mu.Unlock()
+	}
 }
 
-// dropEntryLocked releases the frame and stored bytes of e and fixes all
-// counters. The entry must still be present in pool p's object map when the
-// caller removes it; this helper only touches global structures.
-func (b *Backend) dropEntryLocked(p *Pool, e *entry) {
-	b.lruRemove(e)
-	if err := b.alloc.Release(e.frame); err != nil {
-		panic(fmt.Sprintf("tmem: frame accounting broken: %v", err))
-	}
-	if err := b.store.Drop(e.handle); err != nil {
+// dropEntry releases the frame and stored bytes of e and fixes all
+// counters. The caller holds sh.mu and removes e from the object maps
+// itself; this helper only touches the LRU, frame and account state.
+func (b *Backend) dropEntry(sh *shard, e *entry) {
+	sh.lruRemove(e)
+	b.releaseFrame(e.frame)
+	if err := sh.store.Drop(e.handle); err != nil {
 		panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
 	}
-	p.pages--
-	if a := b.vms[e.vm]; a != nil {
-		a.tmemUsed--
+	e.pool.pages.Add(-1)
+	e.acct.tmemUsed.Add(-1)
+}
+
+// evictOldest drops the node-wide oldest ephemeral page to free one frame.
+// Cross-shard victim selection: every shard's LRU head carries a global
+// clock stamp; the smallest stamp is the oldest page on the node. Returns
+// false when no ephemeral page exists anywhere.
+func (b *Backend) evictOldest() bool {
+	if len(b.shards) == 1 {
+		return b.evictHead(b.shards[0])
+	}
+	for {
+		var victim *shard
+		var oldest uint64
+		for _, sh := range b.shards {
+			sh.mu.Lock()
+			if e := sh.lru.next; e != &sh.lru && (victim == nil || e.stamp < oldest) {
+				victim, oldest = sh, e.stamp
+			}
+			sh.mu.Unlock()
+		}
+		if victim == nil {
+			return false
+		}
+		// The victim shard may have drained between the scan and now;
+		// rescan rather than give up, because another shard may still
+		// hold an evictable page.
+		if b.evictHead(victim) {
+			return true
+		}
 	}
 }
 
-// evictEphemeralLocked drops the oldest ephemeral page to free one frame.
-// Returns false when no ephemeral page exists.
-func (b *Backend) evictEphemeralLocked() bool {
-	e := b.lru.next
-	if e == &b.lru {
+// evictHead drops sh's oldest ephemeral entry; false if the segment is empty.
+func (b *Backend) evictHead(sh *shard) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.lru.next
+	if e == &sh.lru {
 		return false
 	}
-	p := b.pools[e.key.Pool]
-	delete(p.objects[e.key.Object], e.key.Index)
-	if len(p.objects[e.key.Object]) == 0 {
-		delete(p.objects, e.key.Object)
-	}
-	b.dropEntryLocked(p, e)
-	if a := b.vms[e.vm]; a != nil {
-		a.cumulEphEvicted++
-	}
+	sh.removeEntry(e)
+	b.dropEntry(sh, e)
+	e.acct.cumulEphEvicted.Add(1)
 	return true
 }
 
@@ -247,76 +453,93 @@ func (b *Backend) evictEphemeralLocked() bool {
 // zero page; it is copied before Put returns, so the caller may reuse the
 // buffer — the page-copy–based interface of the paper.
 func (b *Backend) Put(key Key, data []byte) Status {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	p, ok := b.pools[key.Pool]
-	if !ok {
+	p := b.pool(key.Pool)
+	if p == nil {
 		return EInval
 	}
-	a := b.vms[p.vm]
-	a.putsTotal++
-	a.cumulPutsTotal++
+	a := p.acct
+	a.putsTotal.Add(1)
+	a.cumulPutsTotal.Add(1)
 
-	// Duplicate put: replace contents, no capacity change.
-	if obj, ok := p.objects[key.Object]; ok {
-		if e, ok := obj[key.Index]; ok {
-			h, err := b.store.Save(data)
-			if err != nil {
-				return EInval
-			}
-			if err := b.store.Drop(e.handle); err != nil {
-				panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
-			}
-			e.handle = h
-			if p.kind == Ephemeral {
-				b.lruRemove(e)
-				b.lruPush(e)
-			}
-			a.putsSucc++
-			a.cumulPutsSucc++
-			return STmem
+	sh := b.shardFor(key)
+	for {
+		st, retry := b.tryPut(sh, p, a, key, data)
+		if !retry {
+			return st
 		}
-	}
-
-	// Algorithm 1, line 5: target enforcement.
-	if a.tmemUsed >= a.mmTarget {
-		return ETmem
-	}
-	// Algorithm 1, line 7: capacity check. Ephemeral pages are sacrificed
-	// first, as in Xen, before failing the put.
-	if b.alloc.Free() == 0 {
-		if !b.evictEphemeralLocked() {
+		// Algorithm 1, line 7: the node is out of frames. Ephemeral pages
+		// are sacrificed first, as in Xen, before failing the put. Each
+		// eviction frees exactly one frame, so the loop makes progress
+		// even when concurrent puts race for it.
+		if !b.evictOldest() {
 			return ETmem
 		}
 	}
+}
 
-	frame := b.alloc.Alloc()
-	if frame == mem.NoFrame {
-		return ETmem
+// tryPut performs one put attempt under the shard lock. retry is true when
+// the attempt failed only for want of a free frame.
+func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, retry bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	if p.dead.Load() {
+		return EInval, false
 	}
-	h, err := b.store.Save(data)
-	if err != nil {
-		if rerr := b.alloc.Release(frame); rerr != nil {
-			panic(fmt.Sprintf("tmem: frame accounting broken: %v", rerr))
+
+	// Duplicate put: replace contents, no capacity change.
+	if e := sh.lookup(key); e != nil {
+		h, err := sh.store.Save(data)
+		if err != nil {
+			return EInval, false
 		}
-		return EInval
+		if err := sh.store.Drop(e.handle); err != nil {
+			panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
+		}
+		e.handle = h
+		if p.kind == Ephemeral {
+			sh.lruRemove(e)
+			sh.lruPush(e, b.lruClock.Add(1))
+		}
+		a.putsSucc.Add(1)
+		a.cumulPutsSucc.Add(1)
+		return STmem, false
 	}
-	e := &entry{key: key, vm: p.vm, frame: frame, handle: h}
-	obj, ok := p.objects[key.Object]
+
+	// Algorithm 1, line 5: target enforcement. Reserve the page with an
+	// atomic increment and roll back on overshoot — a plain check-then-act
+	// would let concurrent puts on different shards jointly exceed the
+	// target. Equivalent to the old "used >= target" check when serial.
+	if mem.Pages(a.tmemUsed.Add(1)) > a.target() {
+		a.tmemUsed.Add(-1)
+		return ETmem, false
+	}
+	frame, ok := b.allocFrame(sh)
 	if !ok {
+		a.tmemUsed.Add(-1)
+		return ETmem, true
+	}
+	h, err := sh.store.Save(data)
+	if err != nil {
+		b.releaseFrame(frame)
+		a.tmemUsed.Add(-1)
+		return EInval, false
+	}
+	e := &entry{key: key, pool: p, acct: a, frame: frame, handle: h}
+	k := objKey{key.Pool, key.Object}
+	obj := sh.objects[k]
+	if obj == nil {
 		obj = make(map[PageIndex]*entry)
-		p.objects[key.Object] = obj
+		sh.objects[k] = obj
 	}
 	obj[key.Index] = e
-	p.pages++
+	p.pages.Add(1)
 	if p.kind == Ephemeral {
-		b.lruPush(e)
+		sh.lruPush(e, b.lruClock.Add(1))
 	}
-	a.tmemUsed++
-	a.putsSucc++
-	a.cumulPutsSucc++
-	return STmem
+	a.putsSucc.Add(1)
+	a.cumulPutsSucc.Add(1)
+	return STmem, false
 }
 
 // Get copies the page stored under key into dst (which may be nil when the
@@ -324,36 +547,29 @@ func (b *Backend) Put(key Key, data []byte) Status {
 // (Xen semantics); persistent hits leave the page in place — the guest
 // issues an explicit FlushPage when it invalidates the swap slot.
 func (b *Backend) Get(key Key, dst []byte) Status {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	p, ok := b.pools[key.Pool]
-	if !ok {
+	p := b.pool(key.Pool)
+	if p == nil {
 		return EInval
 	}
-	a := b.vms[p.vm]
-	a.cumulGetsTotal++
+	a := p.acct
+	a.cumulGetsTotal.Add(1)
 
-	obj, ok := p.objects[key.Object]
-	if !ok {
-		return ETmem
-	}
-	e, ok := obj[key.Index]
-	if !ok {
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.lookup(key)
+	if e == nil {
 		return ETmem
 	}
 	if dst != nil {
-		if err := b.store.Load(e.handle, dst); err != nil {
+		if err := sh.store.Load(e.handle, dst); err != nil {
 			return EInval
 		}
 	}
-	a.cumulGetsHit++
+	a.cumulGetsHit.Add(1)
 	if p.kind == Ephemeral {
-		delete(obj, key.Index)
-		if len(obj) == 0 {
-			delete(p.objects, key.Object)
-		}
-		b.dropEntryLocked(p, e)
+		sh.removeEntry(e)
+		b.dropEntry(sh, e)
 	}
 	return STmem
 }
@@ -361,69 +577,61 @@ func (b *Backend) Get(key Key, dst []byte) Status {
 // Contains reports whether key is currently stored (non-destructive even
 // for ephemeral pools; diagnostic use only).
 func (b *Backend) Contains(key Key) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	p, ok := b.pools[key.Pool]
-	if !ok {
+	if b.pool(key.Pool) == nil {
 		return false
 	}
-	obj, ok := p.objects[key.Object]
-	if !ok {
-		return false
-	}
-	_, ok = obj[key.Index]
-	return ok
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lookup(key) != nil
 }
 
 // FlushPage invalidates a single page (paper Algorithm 1 FLUSH path:
 // deallocate, tmem_used--). Flushing an absent page returns ETmem, which
 // guests treat as harmless.
 func (b *Backend) FlushPage(key Key) Status {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	p, ok := b.pools[key.Pool]
-	if !ok {
+	p := b.pool(key.Pool)
+	if p == nil {
 		return EInval
 	}
-	obj, ok := p.objects[key.Object]
-	if !ok {
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.lookup(key)
+	if e == nil {
 		return ETmem
 	}
-	e, ok := obj[key.Index]
-	if !ok {
-		return ETmem
-	}
-	delete(obj, key.Index)
-	if len(obj) == 0 {
-		delete(p.objects, key.Object)
-	}
-	b.dropEntryLocked(p, e)
-	b.vms[p.vm].cumulFlushes++
+	sh.removeEntry(e)
+	b.dropEntry(sh, e)
+	p.acct.cumulFlushes.Add(1)
 	return STmem
 }
 
 // FlushObject invalidates every page of an object, returning the number of
-// pages freed.
+// pages freed. The object's pages spread across shards, so every stripe is
+// visited (object flushes are rare next to page operations).
 func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	p, ok := b.pools[pool]
-	if !ok {
+	p := b.pool(pool)
+	if p == nil {
 		return 0, EInval
 	}
-	obj, ok := p.objects[object]
-	if !ok {
+	k := objKey{pool, object}
+	var n mem.Pages
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		if obj, ok := sh.objects[k]; ok {
+			for _, e := range obj {
+				b.dropEntry(sh, e)
+				n++
+			}
+			delete(sh.objects, k)
+		}
+		sh.mu.Unlock()
+	}
+	if n == 0 {
 		return 0, ETmem
 	}
-	var n mem.Pages
-	for _, e := range obj {
-		b.dropEntryLocked(p, e)
-		n++
-	}
-	delete(p.objects, object)
-	b.vms[p.vm].cumulFlushes += uint64(n)
+	p.acct.cumulFlushes.Add(uint64(n))
 	return n, STmem
 }
 
@@ -431,92 +639,126 @@ func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) 
 // (vm_data_hyp[id].mm_target). The hypervisor stores targets until the MM
 // modifies them (paper §III-B). Unknown VMs are registered implicitly.
 func (b *Backend) SetTarget(vm VMID, target mem.Pages) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	if target < 0 {
 		target = 0
 	}
-	b.registerLocked(vm).mmTarget = target
+	b.register(vm).mmTarget.Store(int64(target))
 }
 
 // Target returns the current target of a VM.
 func (b *Backend) Target(vm VMID) mem.Pages {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if a, ok := b.vms[vm]; ok {
-		return a.mmTarget
+	if a := b.account(vm); a != nil {
+		return a.target()
 	}
 	return 0
 }
 
 // UsedBy returns the pages currently consumed by a VM.
 func (b *Backend) UsedBy(vm VMID) mem.Pages {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if a, ok := b.vms[vm]; ok {
-		return a.tmemUsed
+	if a := b.account(vm); a != nil {
+		return mem.Pages(a.tmemUsed.Load())
 	}
 	return 0
 }
 
 // VMs returns the registered VM ids in ascending order.
 func (b *Backend) VMs() []VMID {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.vmMu.RLock()
 	ids := make([]VMID, 0, len(b.vms))
 	for id := range b.vms {
 		ids = append(ids, id)
 	}
+	b.vmMu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// Footprint returns the host bytes retained by the page store.
+// Footprint returns the host bytes retained across all shard page stores.
 func (b *Backend) Footprint() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.store.Footprint()
+	var n int64
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		n += sh.store.Footprint()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // CheckInvariants cross-checks all capacity accounting. It is exercised by
-// the property tests and may be called at any time.
+// the property tests and may be called at any time; it stops the world
+// (every stripe lock, in order) for the duration.
 func (b *Backend) CheckInvariants() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-
-	if err := b.alloc.CheckInvariants(); err != nil {
-		return err
+	// Documented lock order: poolMu -> shard.mu (index order) ->
+	// frameSource.mu -> vmMu. The frame sweep completes before vmMu is
+	// taken so the checker itself honours the ordering.
+	b.poolMu.RLock()
+	defer b.poolMu.RUnlock()
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 	}
-	var poolPages, vmPages mem.Pages
-	for _, p := range b.pools {
-		var n mem.Pages
-		for _, obj := range p.objects {
-			n += mem.Pages(len(obj))
+
+	var used, free mem.Pages
+	for _, sh := range b.shards {
+		sh.frames.mu.Lock()
+		err := sh.frames.alloc.CheckInvariants()
+		u, f := sh.frames.alloc.Used(), sh.frames.alloc.Free()
+		sh.frames.mu.Unlock()
+		if err != nil {
+			return err
 		}
-		if n != p.pages {
-			return fmt.Errorf("tmem: pool %d page count %d != entries %d", p.id, p.pages, n)
+		used += u
+		free += f
+	}
+	b.vmMu.RLock()
+	defer b.vmMu.RUnlock()
+	if used+free != b.totalPages {
+		return fmt.Errorf("tmem: stripe partitions cover %d frames, want %d", used+free, b.totalPages)
+	}
+	if got := b.FreePages(); got != free {
+		return fmt.Errorf("tmem: free counter %d != summed stripe free %d", got, free)
+	}
+
+	entryPages := make(map[PoolID]mem.Pages)
+	var storeCount int
+	for _, sh := range b.shards {
+		for k, obj := range sh.objects {
+			if _, ok := b.pools[k.pool]; !ok {
+				return fmt.Errorf("tmem: shard holds entries of unknown pool %d", k.pool)
+			}
+			entryPages[k.pool] += mem.Pages(len(obj))
+		}
+		storeCount += sh.store.Count()
+	}
+	var poolPages mem.Pages
+	for id, p := range b.pools {
+		n := entryPages[id]
+		if n != p.Pages() {
+			return fmt.Errorf("tmem: pool %d page count %d != entries %d", id, p.Pages(), n)
 		}
 		poolPages += n
 	}
-	for _, a := range b.vms {
-		if a.tmemUsed < 0 {
-			return fmt.Errorf("tmem: vm %d negative tmem_used %d", a.id, a.tmemUsed)
-		}
-		vmPages += a.tmemUsed
-	}
-	used := b.alloc.Used()
 	if poolPages != used {
-		return fmt.Errorf("tmem: pools hold %d pages but allocator reports %d used", poolPages, used)
+		return fmt.Errorf("tmem: pools hold %d pages but allocators report %d used", poolPages, used)
+	}
+	if storeCount != int(used) {
+		return fmt.Errorf("tmem: page stores hold %d pages but allocators report %d used", storeCount, used)
+	}
+
+	var vmPages mem.Pages
+	for _, a := range b.vms {
+		u := mem.Pages(a.tmemUsed.Load())
+		if u < 0 {
+			return fmt.Errorf("tmem: vm %d negative tmem_used %d", a.id, u)
+		}
+		vmPages += u
 	}
 	if vmPages != used {
-		return fmt.Errorf("tmem: VM accounts sum to %d pages but allocator reports %d used", vmPages, used)
-	}
-	if c := b.store.Count(); c != int(used) {
-		return fmt.Errorf("tmem: page store holds %d pages but allocator reports %d used", c, used)
+		return fmt.Errorf("tmem: VM accounts sum to %d pages but allocators report %d used", vmPages, used)
 	}
 	for _, a := range b.vms {
-		if a.cumulPutsSucc > a.cumulPutsTotal {
-			return fmt.Errorf("tmem: vm %d puts_succ %d > puts_total %d", a.id, a.cumulPutsSucc, a.cumulPutsTotal)
+		if succ, total := a.cumulPutsSucc.Load(), a.cumulPutsTotal.Load(); succ > total {
+			return fmt.Errorf("tmem: vm %d puts_succ %d > puts_total %d", a.id, succ, total)
 		}
 	}
 	return nil

@@ -42,6 +42,24 @@ func (k Key) String() string {
 	return fmt.Sprintf("tmem:%d/%d/%d", k.Pool, k.Object, k.Index)
 }
 
+// hash returns a well-mixed 64-bit hash of the full key tuple, used by the
+// sharded backend to assign keys to lock stripes. The page index feeds the
+// mix so the sequential indices frontswap and cleancache generate spread
+// uniformly across shards instead of clustering per object.
+func (k Key) hash() uint64 {
+	x := uint64(uint32(k.Pool))<<32 | uint64(k.Index)
+	x ^= mix64(uint64(k.Object))
+	return mix64(x)
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on uint64.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // keyWireSize is the encoded size of a Key: 4 + 8 + 4 bytes.
 const keyWireSize = 16
 

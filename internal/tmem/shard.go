@@ -1,0 +1,126 @@
+package tmem
+
+import (
+	"fmt"
+	"sync"
+
+	"smartmem/internal/mem"
+)
+
+// This file holds the lock-striping machinery of the sharded backend: the
+// shard (one stripe of the entry maps, page storage and ephemeral LRU) and
+// the frameSource (one stripe of the physical frame space). Backend methods
+// that coordinate across stripes live in backend.go.
+//
+// Lock ordering, outermost first:
+//
+//	poolMu -> shard.mu (ascending index when several) -> frameSource.mu -> vmMu
+//
+// The hot path (Put/Get/FlushPage) holds exactly one shard.mu and touches
+// at most one frameSource.mu; no path ever holds two shard locks except
+// CheckInvariants, which acquires them in index order.
+
+// objKey addresses one object's page map within a shard. Entries of the
+// same object scatter across shards (the shard hash covers the page
+// index), so object-granular operations visit every shard.
+type objKey struct {
+	pool   PoolID
+	object ObjectID
+}
+
+// shard is one lock stripe of the store: a partition of the entry maps,
+// its own page store instance, one segment of the ephemeral eviction LRU,
+// and one partition of the frame space.
+type shard struct {
+	mu      sync.Mutex
+	store   PageStore
+	objects map[objKey]map[PageIndex]*entry
+
+	// Ephemeral LRU segment: lru.next is the shard's oldest entry. Entries
+	// carry a stamp from the backend's global LRU clock so cross-shard
+	// victim selection can find the node-wide oldest page.
+	lru entry // sentinel
+
+	// frames is the shard's partition of the node's frame space. Siblings
+	// steal from it when their own partition runs dry, which keeps the
+	// capacity pool global.
+	frames frameSource
+}
+
+func newShard(store PageStore) *shard {
+	sh := &shard{store: store, objects: make(map[objKey]map[PageIndex]*entry)}
+	sh.lru.prev = &sh.lru
+	sh.lru.next = &sh.lru
+	return sh
+}
+
+// lruPush appends e as the shard's most-recently-used entry.
+func (sh *shard) lruPush(e *entry, stamp uint64) {
+	e.stamp = stamp
+	e.prev = sh.lru.prev
+	e.next = &sh.lru
+	sh.lru.prev.next = e
+	sh.lru.prev = e
+}
+
+func (sh *shard) lruRemove(e *entry) {
+	if e.prev == nil {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// lookup returns the entry stored under key, or nil.
+func (sh *shard) lookup(key Key) *entry {
+	obj, ok := sh.objects[objKey{key.Pool, key.Object}]
+	if !ok {
+		return nil
+	}
+	return obj[key.Index]
+}
+
+// removeEntry unlinks e from the shard's object maps (but not the LRU;
+// dropEntry handles that along with the frame and stored bytes).
+func (sh *shard) removeEntry(e *entry) {
+	k := objKey{e.key.Pool, e.key.Object}
+	obj := sh.objects[k]
+	delete(obj, e.key.Index)
+	if len(obj) == 0 {
+		delete(sh.objects, k)
+	}
+}
+
+// frameSource is one stripe of the node's physical frame space: a
+// contiguous range [base, base+n) served by its own allocator behind its
+// own lock. Frame numbers stay globally unique, so a frame allocated from
+// any stripe can be released through the backend regardless of which shard
+// drops the entry, and a shard whose own stripe is exhausted can steal
+// from a sibling — the free pool is global even though the locks are not.
+type frameSource struct {
+	mu    sync.Mutex
+	base  mem.FrameNo
+	alloc *mem.FrameAllocator
+}
+
+// take allocates one frame from the stripe, returning false on exhaustion.
+func (f *frameSource) take() (mem.FrameNo, bool) {
+	f.mu.Lock()
+	local := f.alloc.Alloc()
+	f.mu.Unlock()
+	if local == mem.NoFrame {
+		return mem.NoFrame, false
+	}
+	return f.base + local, true
+}
+
+// give returns a frame to the stripe that owns it.
+func (f *frameSource) give(frame mem.FrameNo) {
+	f.mu.Lock()
+	err := f.alloc.Release(frame - f.base)
+	f.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("tmem: frame accounting broken: %v", err))
+	}
+}

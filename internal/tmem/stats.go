@@ -68,31 +68,40 @@ type TargetUpdate struct {
 	MMTarget mem.Pages // mm_out[i].mm_target
 }
 
-// Sample atomically snapshots the statistics of Table I and resets the
-// interval counters (puts_total, puts_succ), beginning the next sampling
-// interval. The hypervisor invokes this once per second of virtual time and
-// pushes the result through the TKM to the MM.
+// Sample snapshots the statistics of Table I and resets the interval
+// counters (puts_total, puts_succ), beginning the next sampling interval.
+// The hypervisor invokes this once per second of virtual time and pushes
+// the result through the TKM to the MM.
+//
+// The snapshot is assembled by aggregating the striped atomic counters —
+// it takes no shard lock, so sampling never stalls the put/get/flush hot
+// path. Each interval counter is drained with an atomic swap; on a
+// concurrently mutated backend the per-VM values are each exact while the
+// sample as a whole is only approximately simultaneous, which is the same
+// tolerance the paper's 1 Hz VIRQ snapshot has.
 func (b *Backend) Sample(seq uint64) MemStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.vmMu.RLock()
+	accounts := make([]*vmAccount, 0, len(b.vms))
+	for _, a := range b.vms {
+		accounts = append(accounts, a)
+	}
+	b.vmMu.RUnlock()
 
 	ms := MemStats{
 		IntervalSeq: seq,
-		TotalTmem:   b.alloc.Total(),
-		FreeTmem:    b.alloc.Free(),
-		VMs:         make([]VMStat, 0, len(b.vms)),
+		TotalTmem:   b.totalPages,
+		FreeTmem:    b.FreePages(),
+		VMs:         make([]VMStat, 0, len(accounts)),
 	}
-	for _, a := range b.vms {
+	for _, a := range accounts {
 		ms.VMs = append(ms.VMs, VMStat{
 			ID:              a.id,
-			PutsTotal:       a.putsTotal,
-			PutsSucc:        a.putsSucc,
-			TmemUsed:        a.tmemUsed,
-			MMTarget:        a.mmTarget,
+			PutsTotal:       a.putsTotal.Swap(0),
+			PutsSucc:        a.putsSucc.Swap(0),
+			TmemUsed:        mem.Pages(a.tmemUsed.Load()),
+			MMTarget:        a.target(),
 			CumulPutsFailed: a.cumulPutsFailed(),
 		})
-		a.putsTotal = 0
-		a.putsSucc = 0
 	}
 	sort.Slice(ms.VMs, func(i, j int) bool { return ms.VMs[i].ID < ms.VMs[j].ID })
 	return ms
@@ -118,20 +127,18 @@ type OpCounts struct {
 
 // Counts returns cumulative operation counts for a VM.
 func (b *Backend) Counts(vm VMID) (OpCounts, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	a, ok := b.vms[vm]
-	if !ok {
+	a := b.account(vm)
+	if a == nil {
 		return OpCounts{}, false
 	}
 	return OpCounts{
 		ID:         a.id,
-		PutsTotal:  a.cumulPutsTotal,
-		PutsSucc:   a.cumulPutsSucc,
-		GetsTotal:  a.cumulGetsTotal,
-		GetsHit:    a.cumulGetsHit,
-		Flushes:    a.cumulFlushes,
-		EphEvicted: a.cumulEphEvicted,
+		PutsTotal:  a.cumulPutsTotal.Load(),
+		PutsSucc:   a.cumulPutsSucc.Load(),
+		GetsTotal:  a.cumulGetsTotal.Load(),
+		GetsHit:    a.cumulGetsHit.Load(),
+		Flushes:    a.cumulFlushes.Load(),
+		EphEvicted: a.cumulEphEvicted.Load(),
 	}, true
 }
 
