@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench report clean
+.PHONY: all build test race vet lint fmt bench profile report clean
 
 all: build lint test
 
@@ -27,11 +27,23 @@ fmt:
 
 # Quick engine benchmarks (one iteration each); the full figure benches
 # live in bench_test.go. The store/daemon concurrency benches compare the
-# striped hot path against the shards-1 (single-mutex) baseline.
+# striped hot path against the shards-1 (single-mutex) baseline, and the
+# remote-tier bench shows overflow absorbed by a peer store instead of
+# failing to the disk-swap path.
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -run '^$$' ./internal/tmem
+	$(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -run '^$$' ./internal/tmem
 	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -run '^$$' ./internal/kvstore
+
+# Profile a tier-stack-heavy run (kv-heavy hammers the striped store; swap
+# -scenario cluster-2 to profile the cluster runtime). Inspect with:
+#   go tool pprof cpu.prof
+#   go tool pprof mem.prof
+profile:
+	$(GO) run ./cmd/smartmem-sim -scenario kv-heavy -policy smart-alloc:P=2 -seed 11 \
+		-cpuprofile cpu.prof -memprofile mem.prof -quiet > /dev/null
+	@echo "wrote cpu.prof and mem.prof"
 
 # Regenerate every paper figure and table with all CPUs.
 report:

@@ -1,0 +1,157 @@
+package smartmem_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smartmem"
+	"smartmem/sinks"
+)
+
+// clusterBaseConfig is a small oversubscribed node: one analytics VM whose
+// dataset exceeds RAM, against a sliver of tmem, so a cluster of them
+// generates remote overflow.
+func clusterBaseConfig(seed uint64) smartmem.Config {
+	return smartmem.Config{
+		TmemBytes:   16 * smartmem.MiB,
+		TmemEnabled: true,
+		Policy:      smartmem.SmartAlloc{P: 2},
+		Seed:        seed,
+		VMs: []smartmem.VMSpec{{
+			ID: 1, Name: "VM1", RAMBytes: 32 * smartmem.MiB,
+			Workload: smartmem.InMemoryAnalytics{
+				Label: "run", DatasetBytes: 48 * smartmem.MiB, Passes: 2,
+				CPUPerPageLoad: 400 * smartmem.Duration(time.Microsecond),
+				CPUPerPagePass: 2500 * smartmem.Duration(time.Microsecond),
+			},
+		}},
+	}
+}
+
+func TestSessionWithCluster(t *testing.T) {
+	var nodesSeen = map[string]bool{}
+	sess, err := smartmem.NewSession(clusterBaseConfig(1),
+		smartmem.WithCluster(2),
+		smartmem.WithObserver(smartmem.ObserverFunc(func(e smartmem.Event) {
+			if v, ok := e.(smartmem.VMStarted); ok {
+				nodesSeen[v.Node] = true
+			}
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("node summaries = %+v, want 2", res.Nodes)
+	}
+	if !nodesSeen["n0"] || !nodesSeen["n1"] {
+		t.Errorf("VMStarted node tags = %v", nodesSeen)
+	}
+	if len(res.RunsFor("n0/VM1", "run")) != 1 || len(res.RunsFor("n1/VM1", "run")) != 1 {
+		t.Errorf("runs = %+v", res.Runs)
+	}
+	// The replicated nodes are symmetric and mutually overflowing.
+	if res.Nodes[0].Remote == nil || res.Nodes[0].Remote.PutsOK == 0 {
+		t.Errorf("node 0 remote tier idle: %+v", res.Nodes[0].Remote)
+	}
+}
+
+func TestNewClusterSessionHeterogeneous(t *testing.T) {
+	donor := clusterBaseConfig(1)
+	spare := donor
+	spare.TmemBytes = 128 * smartmem.MiB
+	spare.VMs = []smartmem.VMSpec{{
+		ID: 1, Name: "idle", RAMBytes: 64 * smartmem.MiB,
+		Workload: smartmem.InMemoryAnalytics{Label: "warm", DatasetBytes: 16 * smartmem.MiB, Passes: 1},
+	}}
+
+	var sb strings.Builder
+	sess, err := smartmem.NewClusterSession(
+		smartmem.ClusterConfig{Nodes: []smartmem.Config{donor, spare}, RemoteTmem: true},
+		smartmem.WithSink(sinks.NDJSON(&sb)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oversubscribed donor ships overflow into the spare node's store.
+	if res.Nodes[0].Remote == nil || res.Nodes[0].Remote.PutsOK == 0 {
+		t.Errorf("donor never overflowed: %+v", res.Nodes[0].Remote)
+	}
+	if !strings.Contains(sb.String(), `"node":"n0"`) {
+		t.Error("NDJSON stream lacks node tags")
+	}
+	if !strings.Contains(sb.String(), `"record":"result"`) {
+		t.Error("NDJSON stream lacks the result record")
+	}
+}
+
+func TestWithClusterBelowTwoIsSingleNode(t *testing.T) {
+	sess, err := smartmem.NewSession(clusterBaseConfig(1), smartmem.WithCluster(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 0 {
+		t.Errorf("WithCluster(1) produced a cluster: %+v", res.Nodes)
+	}
+	if len(res.RunsFor("VM1", "run")) != 1 {
+		t.Errorf("runs = %+v", res.Runs)
+	}
+}
+
+func TestPublicPolicyRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range smartmem.Policies() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc"} {
+		if !names[want] {
+			t.Errorf("policy registry missing %q", want)
+		}
+	}
+	p, err := smartmem.ParsePolicy("no-tmem")
+	if err != nil {
+		t.Fatalf("ParsePolicy(no-tmem): %v", err)
+	}
+	if p.Name() != "no-tmem" {
+		t.Errorf("sentinel name = %q", p.Name())
+	}
+	// The sentinel runs the baseline end to end through the public API.
+	cfg := clusterBaseConfig(1)
+	cfg.Policy = p
+	res, err := smartmem.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "no-tmem" {
+		t.Errorf("baseline policy name = %q", res.PolicyName)
+	}
+	if res.VMs[0].Tmem.PutsTotal != 0 {
+		t.Error("no-tmem run still issued tmem puts")
+	}
+}
+
+func TestWithClusterRejectsOnMilestone(t *testing.T) {
+	cfg := clusterBaseConfig(1)
+	cfg.OnMilestone = func(vm, label string) {}
+	if _, err := smartmem.NewSession(cfg, smartmem.WithCluster(2)); err == nil ||
+		!strings.Contains(err.Error(), "OnMilestone") {
+		t.Errorf("WithCluster accepted a coordinated config: %v", err)
+	}
+	// Single-node sessions keep accepting it.
+	if _, err := smartmem.NewSession(cfg); err != nil {
+		t.Errorf("single-node session rejected OnMilestone config: %v", err)
+	}
+}

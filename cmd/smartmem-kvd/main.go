@@ -10,9 +10,17 @@
 // accepting ends, in-flight connections drain (bounded by a timeout), and
 // the final store statistics are printed.
 //
+// A daemon may additionally chain a RAMster-style remote tmem tier with
+// -remote: overflow pages its local store rejects (out of frames) are
+// shipped to a peer smartmem-kvd over the same wire protocol, and only
+// puts neither node can hold fail back to the client. Keep -remote chains
+// acyclic (A→B, or A→B→C; never back to A): overflow requests are served
+// through the peer's full tier stack, so a cycle would bounce pages.
+//
 // Modes:
 //
 //	smartmem-kvd -listen :7077 -pages 262144 -shards 8   # KV daemon
+//	smartmem-kvd -listen :7077 -remote far:7077          # + remote tier
 //	smartmem-kvd -connect :7077 -demo                    # KV client demo
 //	smartmem-kvd -mm :7078 -policy smart-alloc:P=2       # MM daemon (TKM peer)
 package main
@@ -45,19 +53,30 @@ const drainTimeout = 5 * time.Second
 
 func main() {
 	var (
-		listen  = flag.String("listen", "", "serve the tmem KV store on this address")
-		connect = flag.String("connect", "", "connect to a KV daemon and run the demo")
-		mmAddr  = flag.String("mm", "", "serve the Memory Manager (TKM protocol) on this address")
-		polSpec = flag.String("policy", "smart-alloc:P=2", "policy for -mm mode")
-		pages   = flag.Int64("pages", 65536, "tmem capacity in pages for -listen mode")
-		shards  = flag.Int("shards", 0, "store lock stripes for -listen mode; 0 means GOMAXPROCS")
-		demo    = flag.Bool("demo", false, "run put/get/flush round trips in -connect mode")
+		listen   = flag.String("listen", "", "serve the tmem KV store on this address")
+		connect  = flag.String("connect", "", "connect to a KV daemon and run the demo")
+		mmAddr   = flag.String("mm", "", "serve the Memory Manager (TKM protocol) on this address")
+		polSpec  = flag.String("policy", "smart-alloc:P=2", "policy for -mm mode")
+		pages    = flag.Int64("pages", 65536, "tmem capacity in pages for -listen mode")
+		shards   = flag.Int("shards", 0, "store lock stripes for -listen mode; 0 means GOMAXPROCS")
+		remote   = flag.String("remote", "", "chain a remote tmem tier: ship overflow pages to the smartmem-kvd at this address (keep chains acyclic)")
+		remoteVM = flag.Int("remote-owner", 1000, "VM id this node's overflow pages are accounted under on the -remote peer")
+		demo     = flag.Bool("demo", false, "run put/get/flush round trips in -connect mode")
 	)
 	flag.Parse()
 
 	switch {
 	case *listen != "":
 		backend := newBackend(mem.Pages(*pages), *shards)
+		if *remote != "" {
+			conn, err := net.Dial("tcp", *remote)
+			fatalIf(err)
+			// All connection handlers funnel overflow into this one wire
+			// client; SyncClient serializes the request/response exchanges.
+			svc := kvstore.NewSyncClient(kvstore.NewClient(conn, pageSize))
+			backend.AttachTier(tmem.NewRemoteTier("kvd:"+*remote, svc, tmem.VMID(*remoteVM)))
+			fmt.Printf("smartmem-kvd: remote tmem tier -> %s (owner vm %d)\n", *remote, *remoteVM)
+		}
 		l, err := net.Listen("tcp", *listen)
 		fatalIf(err)
 		fmt.Printf("smartmem-kvd: serving %d tmem pages (%d shards) on %s\n",
@@ -72,6 +91,12 @@ func main() {
 		// and every TKM connection still gets a fresh one from the factory.
 		pol, err := policy.Parse(*polSpec)
 		fatalIf(err)
+		if policy.IsNoTmem(pol) {
+			// The sentinel means "disable tmem on the node"; an MM daemon
+			// has no node to disable — serving it would just starve every
+			// connected TKM of targets forever.
+			fatalIf(fmt.Errorf("-mm cannot serve %q: pick a target policy", policy.NoTmemName))
+		}
 		l, err := net.Listen("tcp", *mmAddr)
 		fatalIf(err)
 		fmt.Printf("smartmem-kvd: Memory Manager (%s) listening on %s\n", *polSpec, l.Addr())
@@ -138,6 +163,11 @@ func printFinalStats(w io.Writer, b *tmem.Backend) {
 		}
 		fmt.Fprintf(w, "smartmem-kvd:   vm %d: puts %d/%d gets %d/%d flushes %d evicted %d\n",
 			vm, c.PutsSucc, c.PutsTotal, c.GetsHit, c.GetsTotal, c.Flushes, c.EphEvicted)
+	}
+	for _, t := range b.Tiers() {
+		s := t.Stats()
+		fmt.Fprintf(w, "smartmem-kvd:   tier %s: puts %d/%d gets %d/%d flushes %d errors %d\n",
+			t.Name(), s.PutsOK, s.Puts, s.GetsHit, s.Gets, s.PageFlushes+s.ObjectFlushes, s.Errors)
 	}
 }
 

@@ -162,3 +162,138 @@ func TestKVDaemonForcedDrain(t *testing.T) {
 		t.Errorf("log missing forced-close notice:\n%s", out.String())
 	}
 }
+
+// Two chained daemons over real TCP: a small front store shipping its
+// overflow to a roomier peer daemon — the topology -remote assembles. Puts
+// beyond the front's capacity must succeed via the peer, survive a
+// front-store miss on the way back, and vanish everywhere on flush.
+func TestChainedDaemonsRemoteTier(t *testing.T) {
+	peerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	frontL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+
+	peerBackend := newBackend(1024, 2)
+	frontBackend := newBackend(8, 2)
+
+	peerSigs := make(chan os.Signal, 1)
+	frontSigs := make(chan os.Signal, 1)
+	var peerOut, frontOut bytes.Buffer
+	peerServed := make(chan error, 1)
+	frontServed := make(chan error, 1)
+	go func() { peerServed <- serveKV(peerL, peerBackend, peerSigs, time.Second, &peerOut) }()
+
+	// Wire the front daemon's remote tier exactly like -remote does: one
+	// wire client shared by every connection handler, serialized by
+	// SyncClient.
+	conn, err := net.Dial("tcp", peerL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := kvstore.NewSyncClient(kvstore.NewClient(conn, pageSize))
+	frontBackend.AttachTier(tmem.NewRemoteTier("kvd-peer", svc, 1000))
+	go func() { frontServed <- serveKV(frontL, frontBackend, frontSigs, time.Second, &frontOut) }()
+
+	// Several concurrent clients overflow through the single shared wire
+	// client first; frame interleaving on the peer conn would corrupt the
+	// protocol (run with -race).
+	const churners = 4
+	var cwg sync.WaitGroup
+	cerrs := make(chan error, churners)
+	for c := 0; c < churners; c++ {
+		cwg.Add(1)
+		go func(vm tmem.VMID) {
+			defer cwg.Done()
+			cc, err := net.Dial("tcp", frontL.Addr().String())
+			if err != nil {
+				cerrs <- err
+				return
+			}
+			ccl := kvstore.NewClient(cc, pageSize)
+			defer ccl.Close()
+			pool, err := ccl.NewPool(vm, tmem.Persistent)
+			if err != nil {
+				cerrs <- err
+				return
+			}
+			buf := make([]byte, pageSize)
+			for j := 0; j < 48; j++ {
+				buf[0], buf[1] = byte(vm), byte(j)
+				key := tmem.Key{Pool: pool, Object: 9, Index: tmem.PageIndex(j)}
+				if st, err := ccl.Put(key, buf); err != nil || st != tmem.STmem {
+					cerrs <- fmt.Errorf("vm %d put %d = %v, %v", vm, j, st, err)
+					return
+				}
+				st, got, err := ccl.Get(key)
+				if err != nil || st != tmem.STmem || got[0] != byte(vm) || got[1] != byte(j) {
+					cerrs <- fmt.Errorf("vm %d get %d = %v, %v (got %v)", vm, j, st, err, got[:2])
+					return
+				}
+				if st, err := ccl.FlushPage(key); err != nil || st != tmem.STmem {
+					cerrs <- fmt.Errorf("vm %d flush %d = %v, %v", vm, j, st, err)
+					return
+				}
+			}
+		}(tmem.VMID(10 + c))
+	}
+	cwg.Wait()
+	close(cerrs)
+	for err := range cerrs {
+		t.Fatal(err)
+	}
+
+	cconn, err := net.Dial("tcp", frontL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := kvstore.NewClient(cconn, pageSize)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, pageSize)
+	const total = 32 // 4x the front store's 8 frames
+	for i := 0; i < total; i++ {
+		page[0] = byte(i)
+		key := tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}
+		if st, err := cl.Put(key, page); err != nil || st != tmem.STmem {
+			t.Fatalf("put %d = %v, %v (overflow not absorbed by peer)", i, st, err)
+		}
+	}
+	if got := peerBackend.UsedBy(1000); got != total-8 {
+		t.Errorf("peer absorbed %d pages, want %d", got, total-8)
+	}
+	for i := total - 1; i >= 0; i-- {
+		key := tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}
+		st, got, err := cl.Get(key)
+		if err != nil || st != tmem.STmem || got[0] != byte(i) {
+			t.Fatalf("get %d = %v, %v (data %v)", i, st, err, got[:1])
+		}
+		if st, err := cl.FlushPage(key); err != nil || st != tmem.STmem {
+			t.Fatalf("flush %d = %v, %v", i, st, err)
+		}
+	}
+	if used := frontBackend.TotalPages() - frontBackend.FreePages(); used != 0 {
+		t.Errorf("front store still holds %d pages", used)
+	}
+	if got := peerBackend.UsedBy(1000); got != 0 {
+		t.Errorf("peer still holds %d remote pages", got)
+	}
+	cl.Close()
+
+	frontSigs <- os.Interrupt
+	if err := <-frontServed; err != nil {
+		t.Errorf("front daemon exit: %v", err)
+	}
+	peerSigs <- os.Interrupt
+	if err := <-peerServed; err != nil {
+		t.Errorf("peer daemon exit: %v", err)
+	}
+	if !strings.Contains(frontOut.String(), "tier kvd-peer") {
+		t.Errorf("front daemon final stats lack tier line:\n%s", frontOut.String())
+	}
+}

@@ -61,8 +61,14 @@ func main() {
 		figOnly  = flag.Bool("figures-only", false, "skip tables")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
 		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
+		listPol  = flag.Bool("list-policies", false, "list registered policies and exit")
 	)
 	flag.Parse()
+
+	if *listPol {
+		must(experiments.PolicyTable().Render(os.Stdout))
+		return
+	}
 
 	seeds := experiments.DefaultSeeds
 	if *nSeeds < len(seeds) && *nSeeds > 0 {

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"smartmem"
 	"smartmem/internal/experiments"
@@ -46,9 +47,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		jsonPath = fs.String("json", "", `write the full run (events + result) as one JSON document to this file ("-" = stdout, suppressing the text report)`)
 		evPath   = fs.String("events", "", `stream lifecycle events as NDJSON to this file while the run executes ("-" = stdout, suppressing the text report)`)
 		list     = fs.Bool("list", false, "list registered scenarios and exit")
+		listPol  = fs.Bool("list-policies", false, "list registered policies and exit")
 		times    = fs.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress live progress on stderr")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -67,6 +71,44 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		return 0
+	}
+	if *listPol {
+		if err := experiments.PolicyTable().Render(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	// Profiling hooks, so tier-stack hot-path work is measurable:
+	//
+	//	smartmem-sim -scenario kv-heavy -cpuprofile cpu.prof -memprofile mem.prof
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "smartmem-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "smartmem-sim: memprofile:", err)
+			}
+		}()
 	}
 
 	if *times {
@@ -103,12 +145,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Single-run mode: execute the scenario as a Session so sinks can ride
-	// the event stream.
+	// the event stream. Cluster scenarios run as cluster sessions; their
+	// events arrive node-tagged and VM names carry node prefixes.
 	scn, err := experiments.BySlug(*scenario)
-	if err != nil {
-		return fail(err)
-	}
-	cfg, err := scn.Build(*seed, *policy)
 	if err != nil {
 		return fail(err)
 	}
@@ -146,9 +185,25 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}()
 
-	sess, err := smartmem.NewSession(cfg, opts...)
-	if err != nil {
-		return fail(err)
+	var sess *smartmem.Session
+	if scn.IsCluster() {
+		cc, err := scn.BuildCluster(*seed, *policy)
+		if err != nil {
+			return fail(err)
+		}
+		sess, err = smartmem.NewClusterSession(cc, opts...)
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		cfg, err := scn.Build(*seed, *policy)
+		if err != nil {
+			return fail(err)
+		}
+		sess, err = smartmem.NewSession(cfg, opts...)
+		if err != nil {
+			return fail(err)
+		}
 	}
 	res, err := sess.Run()
 	if err != nil {
@@ -177,6 +232,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nhost disk: %d ops, %.1fs busy; MM: %d samples, %d target batches sent\n",
 			res.DiskOps, res.DiskBusy.Seconds(), res.SampleTicks, res.MMBatchesSent)
+
+		if len(res.Nodes) > 0 {
+			fmt.Fprintln(stdout, "\nper-node (remote tier = overflow shipped to the peer's store):")
+			for _, n := range res.Nodes {
+				line := fmt.Sprintf("  %-4s policy=%s samples=%d diskOps=%d",
+					n.Name, n.PolicyName, n.SampleTicks, n.DiskOps)
+				if n.Remote != nil {
+					line += fmt.Sprintf(" remotePuts=%d/%d remoteHits=%d/%d remoteFlushes=%d",
+						n.Remote.PutsOK, n.Remote.Puts, n.Remote.GetsHit, n.Remote.Gets,
+						n.Remote.PageFlushes+n.Remote.ObjectFlushes)
+				}
+				fmt.Fprintln(stdout, line)
+			}
+		}
 	}
 
 	if *chart {

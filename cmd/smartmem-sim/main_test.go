@@ -109,3 +109,90 @@ func TestTimesModeStillWorks(t *testing.T) {
 		t.Errorf("times table missing policy column:\n%s", out.String())
 	}
 }
+
+// TestClusterJSONGolden locks the cluster runtime end-to-end: the 2-node
+// cluster-2 scenario is deterministic under the experiments engine, so its
+// serialized document (node-tagged events + merged result with per-node
+// summaries) must be byte-identical run over run. Regenerate with:
+//
+//	go test ./cmd/smartmem-sim -args -update
+func TestClusterJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "cluster-2", "-policy", "smart-alloc:P=2", "-seed", "11", "-json", "-"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+
+	var doc struct {
+		Schema string           `json:"schema"`
+		Events []map[string]any `json:"events"`
+		Result map[string]any   `json:"result"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	nodes := map[string]bool{}
+	for _, e := range doc.Events {
+		if n, _ := e["node"].(string); n != "" {
+			nodes[n] = true
+		}
+	}
+	if !nodes["n0"] || !nodes["n1"] {
+		t.Errorf("events lack node tags: %v", nodes)
+	}
+	if doc.Result["nodes"] == nil {
+		t.Error("result lacks per-node summaries")
+	}
+
+	golden := filepath.Join("testdata", "cluster2_smart_alloc_seed11.json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -args -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden (%d bytes vs %d); rerun with -args -update if intended",
+			out.Len(), len(want))
+	}
+}
+
+// TestListPolicies guards the policy-registry listing flag.
+func TestListPolicies(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-list-policies"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"no-tmem", "greedy", "smart-alloc:P=<pct>"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list-policies output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestProfileFlags checks that -cpuprofile/-memprofile write usable files.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, heap := filepath.Join(dir, "cpu.prof"), filepath.Join(dir, "mem.prof")
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "scale-2", "-policy", "greedy", "-seed", "11",
+		"-cpuprofile", cpu, "-memprofile", heap}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Cluster runtime: N SmarTmem nodes sharing one simulated clock, each with
+// its own tmem backend, guests, TKM and Memory Manager, wired peer-to-peer
+// so one node's remote tmem tier lands in another node's striped store —
+// the RAMster-style extension of the paper's single-node architecture
+// (Magenheimer's tmem lineage, paper §II): a node whose local tmem pool is
+// exhausted ships overflow pages to a peer's RAM before falling back to
+// virtual-disk swap.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"smartmem/internal/metrics"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// ClusterConfig describes a multi-node run. Every node is a full Config —
+// its own VM population, tmem capacity and policy — and all nodes share one
+// deterministic simulation kernel seeded from node 0.
+type ClusterConfig struct {
+	// Nodes holds one node configuration per cluster node. Node i is
+	// tagged "n<i>"; its VMs appear in results and events as "n<i>/<name>".
+	Nodes []Config
+	// RemoteTmem wires each node's backend with a remote overflow tier
+	// targeting the next node's store in ring order (node i → node
+	// (i+1) mod N) over the deterministic in-process transport. Pages a
+	// node cannot hold locally then land in the peer's RAM instead of the
+	// guest's swap disk. Ignored with fewer than two nodes.
+	RemoteTmem bool
+}
+
+// RemoteGuestBase is the VM-id namespace remote-tier pages are accounted
+// under on the serving peer: pages shipped by node i appear in the peer's
+// statistics as VM RemoteGuestBase+i, displayed as "n<i>/remote". Scenario
+// VM ids must stay below this base.
+const RemoteGuestBase tmem.VMID = 1000
+
+// Validate checks every node configuration the way a cluster run would.
+func (cc ClusterConfig) Validate() error {
+	_, err := cc.normalize()
+	return err
+}
+
+func (cc ClusterConfig) normalize() ([]Config, error) {
+	if len(cc.Nodes) == 0 {
+		return nil, fmt.Errorf("core: cluster with no nodes")
+	}
+	out := make([]Config, len(cc.Nodes))
+	for i, cfg := range cc.Nodes {
+		n, err := cfg.normalize()
+		if err != nil {
+			return nil, fmt.Errorf("core: node n%d: %w", i, err)
+		}
+		for _, vm := range n.VMs {
+			if vm.ID >= RemoteGuestBase {
+				return nil, fmt.Errorf("core: node n%d: VM id %d collides with the remote-guest namespace (>= %d)",
+					i, vm.ID, RemoteGuestBase)
+			}
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// RunCluster executes a cluster run to completion; see RunClusterWith.
+func RunCluster(cc ClusterConfig) (*Result, error) {
+	return RunClusterWith(context.Background(), cc, nil)
+}
+
+// RunClusterWith executes a multi-node simulation, streaming node-tagged
+// lifecycle events to obs and honouring ctx cancellation like RunWith. The
+// returned Result merges all nodes: run records and VM statistics carry
+// node-prefixed names, counters are summed, and Result.Nodes breaks the
+// totals down per node (including each node's remote-tier traffic).
+func RunClusterWith(ctx context.Context, cc ClusterConfig, obs Observer) (*Result, error) {
+	cfgs, err := cc.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// One simulated clock for the whole cluster, seeded from node 0; each
+	// node derives its private streams from the shared root in node order,
+	// so runs are deterministic for a given ClusterConfig. The stop limit
+	// is the largest node limit.
+	kern := sim.NewKernel(cfgs[0].Seed)
+	var limit sim.Duration
+	for _, cfg := range cfgs {
+		if cfg.Limit > limit {
+			limit = cfg.Limit
+		}
+	}
+	kern.SetLimit(sim.Time(limit))
+
+	res := &Result{
+		PolicyName: clusterPolicyName(cfgs),
+		Seed:       cfgs[0].Seed,
+		Series:     metrics.NewSet(),
+	}
+	cancelled := cancelHook(ctx)
+
+	nodes := make([]*nodeRuntime, len(cfgs))
+	for i, cfg := range cfgs {
+		tag := fmt.Sprintf("n%d", i)
+		nodes[i] = newNodeRuntime(cfg, tag, tag+"/")
+	}
+
+	// Peer-to-peer tier wiring: node i's overflow lands in node (i+1)%N's
+	// striped store. The loopback transport serves only the peer's local
+	// tier, so a full ring cannot bounce one page around forever; the
+	// peer's statistics book the shipped pages under node i's remote-guest
+	// account.
+	if cc.RemoteTmem && len(nodes) > 1 {
+		for i, n := range nodes {
+			peer := nodes[(i+1)%len(nodes)]
+			if n.backend == nil || peer.backend == nil {
+				continue
+			}
+			tier := tmem.NewRemoteTier(
+				"remote("+peer.tag+")",
+				tmem.NewLoopback(peer.backend),
+				RemoteGuestBase+tmem.VMID(i),
+			)
+			n.backend.AttachTier(tier)
+			n.remote = tier
+			peer.names.add(RemoteGuestBase+tmem.VMID(i), n.tag+"/remote")
+		}
+	}
+
+	rootRNG := kern.RNG()
+	for _, n := range nodes {
+		n.start(kern, rootRNG, obs, res, cancelled)
+	}
+
+	runLoop(kern, ctx, cancelled, res)
+	kern.KillAll()
+
+	var errs []error
+	for _, n := range nodes {
+		if err := n.finalize(res); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	sortRuns(res.Runs)
+
+	em := &emitter{}
+	if obs != nil {
+		em.obs = obs
+	}
+	em.emit(RunFinished{At: res.EndTime, Cancelled: res.Cancelled, Result: res})
+
+	if res.Cancelled {
+		return res, context.Cause(ctx)
+	}
+	return res, nil
+}
+
+// clusterPolicyName joins the distinct node policy names in node order.
+func clusterPolicyName(cfgs []Config) string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, cfg := range cfgs {
+		if name := cfg.PolicyName(); !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, "+")
+}

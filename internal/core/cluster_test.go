@@ -1,0 +1,211 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/workload"
+)
+
+// smallCluster returns a quick 2-node cluster: node 0 is oversubscribed
+// (two VMs against a sliver of tmem) and node 1 has plenty of spare tmem,
+// so remote overflow actually flows n0 → n1.
+func smallCluster(seed uint64, pol policy.Policy, remote bool) ClusterConfig {
+	mk := func(label string) workload.Workload {
+		return workload.InMemoryAnalytics{
+			Label:          label,
+			DatasetBytes:   48 * mem.MiB,
+			Passes:         2,
+			CPUPerPageLoad: 400 * sim.Microsecond,
+			CPUPerPagePass: 2500 * sim.Microsecond,
+		}
+	}
+	n0 := Config{
+		PageSize:    64 * mem.KiB,
+		TmemBytes:   8 * mem.MiB,
+		TmemEnabled: true,
+		Policy:      pol,
+		Seed:        seed,
+		VMs: []VMSpec{
+			{ID: 1, Name: "VM1", RAMBytes: 32 * mem.MiB, Workload: mk("run1")},
+			{ID: 2, Name: "VM2", RAMBytes: 32 * mem.MiB, Workload: mk("run1")},
+		},
+	}
+	n1 := Config{
+		PageSize:    64 * mem.KiB,
+		TmemBytes:   96 * mem.MiB,
+		TmemEnabled: true,
+		Policy:      pol,
+		Seed:        seed,
+		VMs: []VMSpec{
+			{ID: 1, Name: "VM1", RAMBytes: 48 * mem.MiB, Workload: mk("run1")},
+		},
+	}
+	return ClusterConfig{Nodes: []Config{n0, n1}, RemoteTmem: remote}
+}
+
+func TestClusterRunMergesNodes(t *testing.T) {
+	res, err := RunCluster(smallCluster(1, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitLimit {
+		t.Fatal("cluster hit the safety limit")
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("runs = %+v, want 3 (two on n0, one on n1)", res.Runs)
+	}
+	for _, r := range res.Runs {
+		if !strings.HasPrefix(r.VM, "n0/") && !strings.HasPrefix(r.VM, "n1/") {
+			t.Errorf("run VM %q lacks a node prefix", r.VM)
+		}
+	}
+	if len(res.VMs) != 3 || res.VMs[0].Name != "n0/VM1" || res.VMs[2].Name != "n1/VM1" {
+		t.Errorf("VM results = %+v", res.VMs)
+	}
+	if len(res.Nodes) != 2 || res.Nodes[0].Name != "n0" || res.Nodes[1].Name != "n1" {
+		t.Fatalf("node summaries = %+v", res.Nodes)
+	}
+	if got := res.Nodes[0].SampleTicks + res.Nodes[1].SampleTicks; got != res.SampleTicks {
+		t.Errorf("per-node sample ticks %d != total %d", got, res.SampleTicks)
+	}
+	// Node-prefixed series for both nodes.
+	for _, name := range []string{"tmem-n0/VM1", "tmem-n1/VM1", "n0/free-tmem", "n1/free-tmem"} {
+		if !res.Series.Has(name) {
+			t.Errorf("series %q missing (have %v)", name, res.Series.Names())
+		}
+	}
+}
+
+func TestClusterRemoteTierLandsInPeerStore(t *testing.T) {
+	res, err := RunCluster(smallCluster(1, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := res.Nodes[0].Remote
+	if r0 == nil {
+		t.Fatal("node 0 has no remote-tier stats")
+	}
+	if r0.PutsOK == 0 {
+		t.Error("oversubscribed node 0 never overflowed to its peer")
+	}
+	if r0.Errors != 0 {
+		t.Errorf("loopback transport errored %d times", r0.Errors)
+	}
+	// The peer records the shipped pages under node 0's remote-guest
+	// account, so the series exists under the synthetic name.
+	if !res.Series.Has("tmem-n0/remote") {
+		t.Errorf("peer did not record the remote-guest series (have %v)", res.Series.Names())
+	}
+
+	// Without remote tmem, the same cluster sees no tier traffic and node 0
+	// pays more disk I/O.
+	plain, err := RunCluster(smallCluster(1, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Nodes[0].Remote != nil {
+		t.Error("remote stats present despite RemoteTmem=false")
+	}
+	if plain.Nodes[0].DiskOps <= res.Nodes[0].DiskOps {
+		t.Errorf("remote tier did not reduce node 0 disk traffic: with=%d without=%d",
+			res.Nodes[0].DiskOps, plain.Nodes[0].DiskOps)
+	}
+}
+
+func TestClusterEventsCarryNodeTags(t *testing.T) {
+	tags := map[string]bool{}
+	var vmNamesSeen []string
+	obs := ObserverFunc(func(e Event) {
+		switch ev := e.(type) {
+		case VMStarted:
+			tags[ev.Node] = true
+			vmNamesSeen = append(vmNamesSeen, ev.VM)
+		case SampleTick:
+			tags[ev.Node] = true
+		}
+	})
+	if _, err := RunClusterWith(nil, smallCluster(1, nil, true), obs); err != nil {
+		t.Fatal(err)
+	}
+	if !tags["n0"] || !tags["n1"] {
+		t.Errorf("node tags seen = %v, want n0 and n1", tags)
+	}
+	for _, name := range vmNamesSeen {
+		if !strings.HasPrefix(name, "n0/") && !strings.HasPrefix(name, "n1/") {
+			t.Errorf("event VM %q lacks node prefix", name)
+		}
+	}
+}
+
+// Cluster runs must be exactly reproducible: same ClusterConfig, same
+// everything.
+func TestClusterDeterminism(t *testing.T) {
+	a, err := RunCluster(smallCluster(7, policy.SmartAlloc{P: 2}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCluster(smallCluster(7, policy.SmartAlloc{P: 2}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EndTime != b.EndTime {
+		t.Errorf("end times differ: %v vs %v", a.EndTime, b.EndTime)
+	}
+	if !reflect.DeepEqual(a.Runs, b.Runs) {
+		t.Errorf("run records differ:\n%v\n%v", a.Runs, b.Runs)
+	}
+	if !reflect.DeepEqual(a.VMs, b.VMs) {
+		t.Errorf("VM stats differ")
+	}
+	if !reflect.DeepEqual(a.Nodes, b.Nodes) {
+		t.Errorf("node summaries differ:\n%+v\n%+v", a.Nodes, b.Nodes)
+	}
+}
+
+// A single-node cluster must behave exactly like the plain single-node
+// runtime (modulo the node prefix): same schedule, same measurements.
+func TestOneNodeClusterMatchesSingleNode(t *testing.T) {
+	single, err := Run(smallScenario(3, policy.StaticAlloc{}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallScenario(3, policy.StaticAlloc{}, true)
+	clustered, err := RunCluster(ClusterConfig{Nodes: []Config{cfg}, RemoteTmem: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Runs) != len(clustered.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(single.Runs), len(clustered.Runs))
+	}
+	for i := range single.Runs {
+		s, c := single.Runs[i], clustered.Runs[i]
+		if "n0/"+s.VM != c.VM || s.Label != c.Label || s.Start != c.Start || s.End != c.End {
+			t.Errorf("run %d differs: %+v vs %+v", i, s, c)
+		}
+	}
+	if single.EndTime != clustered.EndTime || single.SampleTicks != clustered.SampleTicks {
+		t.Errorf("schedule drifted: end %v/%v ticks %d/%d",
+			single.EndTime, clustered.EndTime, single.SampleTicks, clustered.SampleTicks)
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := (ClusterConfig{}).Validate(); err == nil {
+		t.Error("empty cluster validated")
+	}
+	bad := smallCluster(1, nil, true)
+	bad.Nodes[1].VMs[0].ID = RemoteGuestBase + 1
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "remote-guest") {
+		t.Errorf("remote-guest id collision not rejected: %v", err)
+	}
+	bad = smallCluster(1, nil, true)
+	bad.Nodes[0].VMs = nil
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "n0") {
+		t.Errorf("node-indexed validation error missing: %v", err)
+	}
+}

@@ -122,6 +122,13 @@ func (c Config) Validate() error {
 
 // normalize fills defaults and validates; returns a copy.
 func (c Config) normalize() (Config, error) {
+	// The no-tmem sentinel policy is the request to run the baseline:
+	// honour it exactly like TmemEnabled=false, so policy.Parse("no-tmem")
+	// output can be passed through uniformly.
+	if c.Policy != nil && policy.IsNoTmem(c.Policy) {
+		c.TmemEnabled = false
+		c.Policy = nil
+	}
 	if c.PageSize == 0 {
 		c.PageSize = 64 * mem.KiB
 	}

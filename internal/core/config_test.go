@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"smartmem/internal/mem"
+	"smartmem/internal/policy"
 	"smartmem/internal/sim"
 	"smartmem/internal/workload"
 )
@@ -139,5 +140,30 @@ func TestValidateDoesNotMutate(t *testing.T) {
 	}
 	if cfg.PageSize != 0 || cfg.Store != "" {
 		t.Errorf("Validate mutated the config: %+v", cfg)
+	}
+}
+
+// The NoTmem sentinel (policy.Parse("no-tmem")) must be honoured exactly
+// like TmemEnabled=false: no backend, baseline policy name, and validation
+// must not demand a tmem capacity.
+func TestNoTmemSentinelRunsBaseline(t *testing.T) {
+	cfg := validConfig()
+	cfg.Policy = policy.NoTmem{}
+
+	norm, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.TmemEnabled || norm.Policy != nil {
+		t.Errorf("sentinel not honoured: enabled=%v policy=%v", norm.TmemEnabled, norm.Policy)
+	}
+	if name := norm.PolicyName(); name != policy.NoTmemName {
+		t.Errorf("policy name = %q, want %q", name, policy.NoTmemName)
+	}
+	// Even with no capacity configured the sentinel must validate (the
+	// baseline needs none).
+	cfg.TmemBytes = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("no-tmem sentinel with zero capacity rejected: %v", err)
 	}
 }

@@ -25,6 +25,9 @@ type Event interface {
 // StartDelay and launch jitter elapsed).
 type VMStarted struct {
 	At sim.Time
+	// Node names the cluster node the VM runs on ("n0", "n1", ...); empty
+	// in a single-node run.
+	Node string
 	// VM and ID identify the machine; Workload names what it runs.
 	VM       string
 	ID       tmem.VMID
@@ -35,6 +38,7 @@ type VMStarted struct {
 // usemem beginning a larger allocation, analytics finishing a pass).
 type Milestone struct {
 	At    sim.Time
+	Node  string // cluster node, empty single-node
 	VM    string
 	Label string
 }
@@ -43,6 +47,7 @@ type Milestone struct {
 // record appended to Result.Runs.
 type RunCompleted struct {
 	At     sim.Time
+	Node   string // cluster node, empty single-node
 	Record RunRecord
 }
 
@@ -51,6 +56,8 @@ type RunCompleted struct {
 // shared with the node; observers must treat them as read-only.
 type SampleTick struct {
 	At sim.Time
+	// Node names the cluster node whose MM sampled; empty single-node.
+	Node string
 	// Seq numbers sampling intervals from 1.
 	Seq   uint64
 	Stats tmem.MemStats
@@ -65,6 +72,7 @@ type SampleTick struct {
 // suppressed by dedup).
 type TargetUpdate struct {
 	At     sim.Time
+	Node   string // cluster node, empty single-node
 	VM     string
 	ID     tmem.VMID
 	Target mem.Pages

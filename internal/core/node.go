@@ -35,9 +35,27 @@ type VMResult struct {
 	Tmem   tmem.OpCounts
 }
 
-// Result is the outcome of a node run.
+// NodeResult summarizes one node of a cluster run.
+type NodeResult struct {
+	// Name is the node tag ("n0", "n1", ...).
+	Name string
+	// PolicyName is the policy that governed the node.
+	PolicyName string
+	// SampleTicks / MMBatchesSent are the node's MM counters.
+	SampleTicks   uint64
+	MMBatchesSent uint64
+	// DiskOps / DiskBusy summarize the node's host-disk traffic.
+	DiskOps  uint64
+	DiskBusy sim.Duration
+	// Remote summarizes the node's outbound remote tmem tier (nil when the
+	// cluster ran without remote tmem).
+	Remote *tmem.TierStats
+}
+
+// Result is the outcome of a node (or cluster) run.
 type Result struct {
-	// PolicyName is the policy that governed the run (or "no-tmem").
+	// PolicyName is the policy that governed the run (or "no-tmem"). For
+	// heterogeneous clusters the distinct node policies are joined with "+".
 	PolicyName string
 	// Seed is the run's random seed.
 	Seed uint64
@@ -48,20 +66,25 @@ type Result struct {
 	// Cancelled reports whether the run's context was cancelled mid-run;
 	// every field then holds the partial state at cancellation time.
 	Cancelled bool
-	// Runs holds every reported run/milestone, in completion order.
+	// Runs holds every reported run/milestone, in completion order. In a
+	// cluster run the VM names carry their node prefix ("n0/VM1").
 	Runs []RunRecord
 	// Series carries the time series the paper's Figures 4/6/8/10 plot:
-	// "tmem-<vm>" (pages in use), "target-<vm>" (mm_target), and
-	// "free-tmem". Empty in no-tmem mode.
+	// "tmem-<vm>" (pages in use), "target-<vm>" (mm_target) and
+	// "free-tmem". Empty in no-tmem mode. Cluster runs prefix every name
+	// with the node tag ("tmem-n0/VM1", "n0/free-tmem").
 	Series *metrics.Set
-	// VMs holds per-VM statistics, in config order.
+	// VMs holds per-VM statistics, in config order (node order first for
+	// clusters).
 	VMs []VMResult
+	// Nodes holds per-node summaries for cluster runs; nil single-node.
+	Nodes []NodeResult
 	// MMBatchesSent counts target batches the MM actually transmitted
-	// (after dedup suppression).
+	// (after dedup suppression; summed across nodes in a cluster).
 	MMBatchesSent uint64
-	// SampleTicks counts MM sampling intervals processed.
+	// SampleTicks counts MM sampling intervals processed (summed).
 	SampleTicks uint64
-	// DiskOps / DiskBusy summarize host-disk traffic.
+	// DiskOps / DiskBusy summarize host-disk traffic (summed).
 	DiskOps  uint64
 	DiskBusy sim.Duration
 }
@@ -101,140 +124,46 @@ func RunWith(ctx context.Context, cfg Config, obs Observer) (*Result, error) {
 
 	kern := sim.NewKernel(cfg.Seed)
 	kern.SetLimit(sim.Time(cfg.Limit))
-	rootRNG := kern.RNG()
-
-	var backend *tmem.Backend
-	if cfg.TmemEnabled {
-		backend = tmem.NewBackend(mem.PagesIn(cfg.TmemBytes, cfg.PageSize), cfg.newStore())
-	}
-
-	host := vdisk.NewHost(cfg.DiskReadService, cfg.DiskWriteService, cfg.DiskJitter, rootRNG.Split())
 
 	res := &Result{
 		PolicyName: cfg.PolicyName(),
 		Seed:       cfg.Seed,
 		Series:     metrics.NewSet(),
 	}
+	cancelled := cancelHook(ctx)
 
-	// Built-in observers come first so the node's own bookkeeping (legacy
-	// milestone callback, figure series) sees each event before the caller.
-	names := newVMNames(cfg)
-	builtins := make([]Observer, 0, 3)
-	if cfg.OnMilestone != nil {
-		builtins = append(builtins, milestoneRelay{fn: cfg.OnMilestone})
+	n := newNodeRuntime(cfg, "", "")
+	n.start(kern, kern.RNG(), obs, res, cancelled)
+
+	runLoop(kern, ctx, cancelled, res)
+	kern.KillAll()
+
+	if err := n.finalize(res); err != nil {
+		return nil, err
 	}
-	if backend != nil {
-		builtins = append(builtins, &seriesRecorder{set: res.Series, names: names})
+	sortRuns(res.Runs)
+	n.em.emit(RunFinished{At: res.EndTime, Cancelled: res.Cancelled, Result: res})
+
+	if res.Cancelled {
+		return res, context.Cause(ctx)
 	}
-	em := &emitter{}
-	if len(builtins) > 0 || obs != nil {
-		em.obs = MultiObserver(append(builtins, obs)...)
+	return res, nil
+}
+
+// cancelHook returns the cancellation poll workloads use, or nil for
+// non-cancellable contexts so the common path costs nothing.
+func cancelHook(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
 	}
+	return func() bool { return ctx.Err() != nil }
+}
 
-	// Workloads poll cancellation between access batches; leave the hook
-	// nil for non-cancellable contexts so the common path costs nothing.
-	var cancelled func() bool
-	if ctx.Done() != nil {
-		cancelled = func() bool { return ctx.Err() != nil }
-	}
-
-	// --- guests + workloads ---
-	type vmRuntime struct {
-		spec   VMSpec
-		kernel *guest.Kernel
-	}
-	vms := make([]*vmRuntime, len(cfg.VMs))
-	remaining := len(cfg.VMs)
-	jitterRNG := rootRNG.Split()
-
-	for i, spec := range cfg.VMs {
-		spec := spec
-		g := guest.NewKernel(guest.Config{
-			VM:               spec.ID,
-			RAMPages:         mem.PagesIn(spec.RAMBytes, cfg.PageSize),
-			KernelReserve:    cfg.kernelReserve(spec),
-			Backend:          backend,
-			Frontswap:        backend != nil,
-			Cleancache:       backend != nil && cfg.Cleancache,
-			NonExclusiveGets: cfg.NonExclusiveFrontswap,
-			Disk:             vdisk.NewDisk(spec.Name, host),
-		})
-		vms[i] = &vmRuntime{spec: spec, kernel: g}
-
-		delay := sim.Duration(spec.StartDelay)
-		if cfg.StartJitter > 0 {
-			delay += sim.Duration(jitterRNG.Int63n(int64(cfg.StartJitter)))
-		}
-		wlRNG := rootRNG.Split()
-		kern.SpawnAt("wl-"+spec.Name, delay, func(p *sim.Proc) {
-			defer func() { remaining-- }()
-			em.emit(VMStarted{At: p.Now(), VM: spec.Name, ID: spec.ID, Workload: spec.Workload.Name()})
-			wctx := &workload.Ctx{
-				Proc:     p,
-				Guest:    g,
-				RNG:      wlRNG,
-				PageSize: cfg.PageSize,
-				Report: func(label string, start, end sim.Time) {
-					rec := RunRecord{VM: spec.Name, Label: label, Start: start, End: end}
-					res.Runs = append(res.Runs, rec)
-					em.emit(RunCompleted{At: end, Record: rec})
-				},
-				OnMilestone: func(label string) {
-					em.emit(Milestone{At: p.Now(), VM: spec.Name, Label: label})
-				},
-				Stop:      cfg.Stop,
-				Cancelled: cancelled,
-			}
-			spec.Workload.Run(wctx)
-			if end := p.Now(); end > res.EndTime {
-				res.EndTime = end
-			}
-		})
-	}
-
-	// --- MM + monitor process ---
-	var mmDedup *policy.Dedup
-	if backend != nil {
-		var mm tkm.MM
-		if cfg.TransportMM != nil {
-			mm = transportAdapter{cfg.TransportMM}
-		} else {
-			pol := cfg.Policy
-			if pol == nil {
-				pol = policy.Greedy{}
-			}
-			mmDedup = policy.NewDedup(pol)
-			mm = tkm.NewLocalMM(mmDedup)
-		}
-		relay := tkm.New(backend, mm)
-
-		kern.Spawn("mm-tick", func(p *sim.Proc) {
-			for {
-				p.Sleep(cfg.SampleInterval)
-				if remaining == 0 {
-					return
-				}
-				ms, targets, err := relay.Tick()
-				if err != nil {
-					// A torn MM connection degrades to greedy: targets
-					// simply stop changing, exactly as in the real system.
-					return
-				}
-				res.SampleTicks++
-				em.emit(SampleTick{At: p.Now(), Seq: ms.IntervalSeq, Stats: ms, VMNames: names})
-				for _, tu := range targets {
-					em.emit(TargetUpdate{
-						At: p.Now(), VM: names.name(tu.ID), ID: tu.ID, Target: tu.MMTarget,
-					})
-				}
-			}
-		})
-	}
-
-	// The kernel loop checks the context between events so cancellation is
-	// prompt even while every workload is deep inside a long phase. With a
-	// background context the check never fires and the schedule is
-	// identical to an unobserved kern.Run().
+// runLoop drives the simulation kernel to completion, checking the context
+// between events so cancellation is prompt even while every workload is
+// deep inside a long phase. With a background context the check never fires
+// and the schedule is identical to an unobserved kern.Run().
+func runLoop(kern *sim.Kernel, ctx context.Context, cancelled func() bool, res *Result) {
 	for kern.Step() {
 		if cancelled != nil && ctx.Err() != nil {
 			res.Cancelled = true
@@ -247,34 +176,211 @@ func RunWith(ctx context.Context, cfg Config, obs Observer) (*Result, error) {
 			res.EndTime = now
 		}
 	}
-	kern.KillAll()
+}
 
-	// --- final statistics ---
-	for _, vr := range vms {
-		v := VMResult{Name: vr.spec.Name, ID: vr.spec.ID, Kernel: vr.kernel.Stats()}
-		if backend != nil {
-			v.Tmem, _ = backend.Counts(vr.spec.ID)
+// vmRuntime pairs a VM spec with its booted guest kernel.
+type vmRuntime struct {
+	spec   VMSpec
+	kernel *guest.Kernel
+}
+
+// nodeRuntime is one assembled node: the tmem backend, its guests and their
+// workloads, the host disk and the MM tick loop — everything RunWith used
+// to wire inline, factored out so RunCluster can assemble several nodes
+// against one shared simulation kernel. tag/prefix are empty for a
+// single-node run, which keeps that path byte-identical to the historical
+// inline assembly.
+type nodeRuntime struct {
+	cfg    Config
+	tag    string // "n<i>" in a cluster, "" single-node
+	prefix string // "n<i>/" in a cluster, "" single-node
+
+	backend *tmem.Backend
+	remote  *tmem.RemoteTier // outbound overflow tier (clusters only)
+	host    *vdisk.Host
+	vms     []*vmRuntime
+	names   vmNames
+	em      *emitter
+
+	remaining   int
+	sampleTicks uint64
+	mmDedup     *policy.Dedup
+}
+
+// newNodeRuntime builds the node shell and its backend — the piece peers
+// need a reference to before workloads start, so cluster tier wiring can
+// happen between construction and start.
+func newNodeRuntime(cfg Config, tag, prefix string) *nodeRuntime {
+	n := &nodeRuntime{cfg: cfg, tag: tag, prefix: prefix}
+	if cfg.TmemEnabled {
+		n.backend = tmem.NewBackend(mem.PagesIn(cfg.TmemBytes, cfg.PageSize), cfg.newStore())
+	}
+	n.names = newVMNames(cfg, prefix)
+	return n
+}
+
+// start spawns the node's processes into kern. The RNG split order — host
+// disk, launch jitter, then one stream per workload — is part of the
+// determinism contract: a single node consumes the kernel's root stream
+// exactly as the historical inline code did, and cluster nodes consume it
+// in node order.
+func (n *nodeRuntime) start(kern *sim.Kernel, rng *sim.RNG, obs Observer, res *Result, cancelled func() bool) {
+	cfg := n.cfg
+	n.host = vdisk.NewHost(cfg.DiskReadService, cfg.DiskWriteService, cfg.DiskJitter, rng.Split())
+
+	// Built-in figure-series recording rides the same event stream external
+	// observers subscribe to. It is node-local (each node records only its
+	// own sampling ticks), so n.em fans out to the node's builtins plus the
+	// shared external observer.
+	var builtins []Observer
+	if n.backend != nil {
+		builtins = append(builtins, &seriesRecorder{set: res.Series, names: n.names, prefix: n.prefix})
+	}
+	n.em = &emitter{}
+	if len(builtins) > 0 || obs != nil {
+		n.em.obs = MultiObserver(append(builtins, obs)...)
+	}
+
+	// --- guests + workloads ---
+	n.vms = make([]*vmRuntime, len(cfg.VMs))
+	n.remaining = len(cfg.VMs)
+	jitterRNG := rng.Split()
+
+	for i, spec := range cfg.VMs {
+		spec := spec
+		g := guest.NewKernel(guest.Config{
+			VM:               spec.ID,
+			RAMPages:         mem.PagesIn(spec.RAMBytes, cfg.PageSize),
+			KernelReserve:    cfg.kernelReserve(spec),
+			Backend:          n.backend,
+			Frontswap:        n.backend != nil,
+			Cleancache:       n.backend != nil && cfg.Cleancache,
+			NonExclusiveGets: cfg.NonExclusiveFrontswap,
+			Disk:             vdisk.NewDisk(spec.Name, n.host),
+		})
+		n.vms[i] = &vmRuntime{spec: spec, kernel: g}
+
+		delay := sim.Duration(spec.StartDelay)
+		if cfg.StartJitter > 0 {
+			delay += sim.Duration(jitterRNG.Int63n(int64(cfg.StartJitter)))
+		}
+		wlRNG := rng.Split()
+		kern.SpawnAt(n.prefix+"wl-"+spec.Name, delay, func(p *sim.Proc) {
+			defer func() { n.remaining-- }()
+			n.em.emit(VMStarted{
+				At: p.Now(), Node: n.tag, VM: n.prefix + spec.Name,
+				ID: spec.ID, Workload: spec.Workload.Name(),
+			})
+			wctx := &workload.Ctx{
+				Proc:     p,
+				Guest:    g,
+				RNG:      wlRNG,
+				PageSize: cfg.PageSize,
+				Report: func(label string, start, end sim.Time) {
+					rec := RunRecord{VM: n.prefix + spec.Name, Label: label, Start: start, End: end}
+					res.Runs = append(res.Runs, rec)
+					n.em.emit(RunCompleted{At: end, Node: n.tag, Record: rec})
+				},
+				OnMilestone: func(label string) {
+					// The scenario's cross-VM coordination callback fires
+					// first, with the node-local VM name (the same contract
+					// the old relay-observer gave it); the emitted event
+					// then carries the cluster-unique name.
+					if cfg.OnMilestone != nil {
+						cfg.OnMilestone(spec.Name, label)
+					}
+					n.em.emit(Milestone{At: p.Now(), Node: n.tag, VM: n.prefix + spec.Name, Label: label})
+				},
+				Stop:      cfg.Stop,
+				Cancelled: cancelled,
+			}
+			spec.Workload.Run(wctx)
+			if end := p.Now(); end > res.EndTime {
+				res.EndTime = end
+			}
+		})
+	}
+
+	// --- MM + monitor process ---
+	if n.backend != nil {
+		var mm tkm.MM
+		if cfg.TransportMM != nil {
+			mm = transportAdapter{cfg.TransportMM}
+		} else {
+			pol := cfg.Policy
+			if pol == nil {
+				pol = policy.Greedy{}
+			}
+			n.mmDedup = policy.NewDedup(pol)
+			mm = tkm.NewLocalMM(n.mmDedup)
+		}
+		relay := tkm.New(n.backend, mm)
+
+		kern.Spawn(n.prefix+"mm-tick", func(p *sim.Proc) {
+			for {
+				p.Sleep(cfg.SampleInterval)
+				if n.remaining == 0 {
+					return
+				}
+				ms, targets, err := relay.Tick()
+				if err != nil {
+					// A torn MM connection degrades to greedy: targets
+					// simply stop changing, exactly as in the real system.
+					return
+				}
+				n.sampleTicks++
+				n.em.emit(SampleTick{At: p.Now(), Node: n.tag, Seq: ms.IntervalSeq, Stats: ms, VMNames: n.names})
+				for _, tu := range targets {
+					n.em.emit(TargetUpdate{
+						At: p.Now(), Node: n.tag, VM: n.names.name(tu.ID), ID: tu.ID, Target: tu.MMTarget,
+					})
+				}
+			}
+		})
+	}
+}
+
+// finalize folds the node's end-of-run statistics into res and checks the
+// backend invariants.
+func (n *nodeRuntime) finalize(res *Result) error {
+	for _, vr := range n.vms {
+		v := VMResult{Name: n.prefix + vr.spec.Name, ID: vr.spec.ID, Kernel: vr.kernel.Stats()}
+		if n.backend != nil {
+			v.Tmem, _ = n.backend.Counts(vr.spec.ID)
 		}
 		res.VMs = append(res.VMs, v)
 	}
-	if mmDedup != nil {
-		res.MMBatchesSent = uint64(mmDedup.Sent)
+	var batches uint64
+	if n.mmDedup != nil {
+		batches = uint64(n.mmDedup.Sent)
 	}
-	res.DiskOps = host.Ops()
-	res.DiskBusy = host.BusyTime()
+	res.MMBatchesSent += batches
+	res.SampleTicks += n.sampleTicks
+	res.DiskOps += n.host.Ops()
+	res.DiskBusy += n.host.BusyTime()
 
-	if backend != nil {
-		if err := backend.CheckInvariants(); err != nil {
-			return nil, fmt.Errorf("core: post-run invariant violation: %w", err)
+	if n.tag != "" {
+		nr := NodeResult{
+			Name:          n.tag,
+			PolicyName:    n.cfg.PolicyName(),
+			SampleTicks:   n.sampleTicks,
+			MMBatchesSent: batches,
+			DiskOps:       n.host.Ops(),
+			DiskBusy:      n.host.BusyTime(),
+		}
+		if n.remote != nil {
+			s := n.remote.Stats()
+			nr.Remote = &s
+		}
+		res.Nodes = append(res.Nodes, nr)
+	}
+
+	if n.backend != nil {
+		if err := n.backend.CheckInvariants(); err != nil {
+			return fmt.Errorf("core: post-run invariant violation: %w", err)
 		}
 	}
-	sortRuns(res.Runs)
-	em.emit(RunFinished{At: res.EndTime, Cancelled: res.Cancelled, Result: res})
-
-	if res.Cancelled {
-		return res, context.Cause(ctx)
-	}
-	return res, nil
+	return nil
 }
 
 type transportAdapter struct{ t TKMTransport }

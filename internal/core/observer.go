@@ -9,21 +9,26 @@ import (
 
 // Built-in observers: the node's own bookkeeping rides the same event
 // stream external observers subscribe to. Series recording (the data behind
-// the paper's Figures 4/6/8/10) and the legacy Config.OnMilestone callback
-// are both just observers registered ahead of the caller's.
+// the paper's Figures 4/6/8/10) is just an observer registered ahead of the
+// caller's; each cluster node gets its own instance so nodes never record
+// each other's sampling ticks.
 
-// vmNames maps VMID→display name. It is built once per run (it used to be
+// vmNames maps VMID→display name. It is built once per node (it used to be
 // rebuilt on every sampling tick, O(VMs) on the hot path) and shared by the
-// series recorder and the target-update emitter.
+// series recorder and the target-update emitter. In a cluster the names
+// carry the node prefix ("n0/VM1"), and the peer wiring adds entries for
+// the remote-guest accounts overflow pages are booked under.
 type vmNames map[tmem.VMID]string
 
-func newVMNames(cfg Config) vmNames {
+func newVMNames(cfg Config, prefix string) vmNames {
 	m := make(vmNames, len(cfg.VMs))
 	for _, vm := range cfg.VMs {
-		m[vm.ID] = vm.Name
+		m[vm.ID] = prefix + vm.Name
 	}
 	return m
 }
+
+func (m vmNames) add(id tmem.VMID, name string) { m[id] = name }
 
 func (m vmNames) name(id tmem.VMID) string {
 	if n, ok := m[id]; ok {
@@ -32,11 +37,13 @@ func (m vmNames) name(id tmem.VMID) string {
 	return fmt.Sprintf("vm%d", id)
 }
 
-// seriesRecorder appends each SampleTick to the run's metrics set:
-// "tmem-<vm>" (pages in use), "target-<vm>" (mm_target) and "free-tmem".
+// seriesRecorder appends each of its node's SampleTicks to the run's
+// metrics set: "tmem-<vm>" (pages in use), "target-<vm>" (mm_target) and
+// "free-tmem" (node-prefixed in clusters, e.g. "n0/free-tmem").
 type seriesRecorder struct {
-	set   *metrics.Set
-	names vmNames
+	set    *metrics.Set
+	names  vmNames
+	prefix string
 }
 
 // OnEvent implements Observer.
@@ -56,17 +63,5 @@ func (r *seriesRecorder) OnEvent(e Event) {
 		}
 		r.set.Get("target-"+name).Add(t, float64(tgt))
 	}
-	r.set.Get("free-tmem").Add(t, float64(ms.FreeTmem))
-}
-
-// milestoneRelay adapts the legacy Config.OnMilestone callback to the
-// event stream, preserving its synchronous cross-VM coordination semantics
-// (the Usemem scenario raises stop flags from inside the callback).
-type milestoneRelay struct{ fn func(vm, label string) }
-
-// OnEvent implements Observer.
-func (r milestoneRelay) OnEvent(e Event) {
-	if m, ok := e.(Milestone); ok {
-		r.fn(m.VM, m.Label)
-	}
+	r.set.Get(r.prefix+"free-tmem").Add(t, float64(ms.FreeTmem))
 }

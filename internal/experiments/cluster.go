@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartmem/internal/core"
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+	"smartmem/internal/workload"
+)
+
+// The multi-node scenarios: clusters of SmarTmem nodes wired peer-to-peer
+// with remote tmem tiers (RAMster-style overflow; see core.ClusterConfig).
+// They extend the paper's single-node evaluation along its own lineage —
+// Magenheimer's tmem work explicitly proposes a remote tier — and probe
+// three shapes the single-node scenarios cannot: symmetric mutual overflow
+// (cluster-2), a donor/receiver pair where nearly all pressure is absorbed
+// remotely (remote-heavy), and an asymmetric population where a busy
+// analytics node also serves a swarm's overflow (node-imbalance).
+
+// usememClusterNode builds one node of usemem VMs contending for an
+// undersized tmem pool, stopping after each VM completes `loops` full
+// traversals. It is the single implementation of this recipe: the
+// single-node scale-<n> scenario (scale.go) and the cluster scenarios all
+// build their nodes through it. Fresh flags and counters are allocated per
+// call — builds run concurrently under the engine.
+func usememClusterNode(seed uint64, pol policy.Policy, tmemOn bool, nVMs int, tmemBytes mem.Bytes, loops int) core.Config {
+	cfg := baseConfig(seed, pol, tmemOn, tmemBytes)
+	stop := &workload.Flag{}
+	cfg.Stop = stop
+
+	attempts := make(map[string]int, nVMs)
+	doneVMs := 0
+	cfg.OnMilestone = func(vm, label string) {
+		if label != workload.MilestoneLabel(scaleUsememMax) {
+			return
+		}
+		attempts[vm]++
+		if attempts[vm] == loops+1 {
+			doneVMs++
+			if doneVMs == nVMs {
+				stop.Set()
+			}
+		}
+	}
+
+	u := workload.Usemem{
+		StartBytes: 128 * mem.MiB,
+		StepBytes:  128 * mem.MiB,
+		MaxBytes:   scaleUsememMax,
+		CPUPerPage: 100 * sim.Microsecond,
+	}
+	for i := 1; i <= nVMs; i++ {
+		cfg.VMs = append(cfg.VMs, core.VMSpec{
+			ID:                 tmem.VMID(i),
+			Name:               fmt.Sprintf("VM%d", i),
+			RAMBytes:           scaleVMRAM,
+			KernelReserveBytes: scaleVMReserve,
+			Workload:           u,
+		})
+	}
+	return cfg
+}
+
+// Cluster2Scenario is the symmetric 2-node cluster: each node runs two
+// usemem VMs against an undersized pool, and each node's overflow lands in
+// the other's store. The deterministic reference run for the cluster
+// runtime (golden-tested in cmd/smartmem-sim).
+var Cluster2Scenario = NewClusterScenario(Scenario{
+	Name: "Cluster 2",
+	Slug: "cluster-2",
+	Description: "2 nodes × 2 usemem VMs (512MB RAM each) against 192MiB of " +
+		"tmem per node; the nodes mutually absorb each other's overflow " +
+		"through remote tmem tiers. Stops after 2 full traversals per VM.",
+	TmemBytes: 2 * 192 * mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Cluster-2",
+	SeriesFigure: "Cluster-2 series",
+	RunLabels: []string{
+		workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+		workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+	},
+}, func(seed uint64, pol policy.Policy, tmemOn bool) core.ClusterConfig {
+	return core.ClusterConfig{
+		Nodes: []core.Config{
+			usememClusterNode(seed, pol, tmemOn, 2, 192*mem.MiB, 2),
+			usememClusterNode(seed, pol, tmemOn, 2, 192*mem.MiB, 2),
+		},
+		RemoteTmem: tmemOn,
+	}
+})
+
+// RemoteHeavyScenario is the donor/receiver pair: node 0 is heavily
+// oversubscribed (three usemem VMs against 96 MiB), node 1 runs one light
+// analytics VM in front of a large mostly-idle pool. Nearly every page
+// node 0 cannot hold locally ships to node 1's RAM — the RAMster story in
+// its purest form.
+var RemoteHeavyScenario = NewClusterScenario(Scenario{
+	Name: "Remote Heavy",
+	Slug: "remote-heavy",
+	Description: "node 0: 3 usemem VMs vs 96MiB of tmem (heavily " +
+		"oversubscribed); node 1: one light in-memory-analytics VM vs 768MiB. " +
+		"Node 0's overflow is almost entirely absorbed by node 1's spare RAM.",
+	TmemBytes: 96*mem.MiB + 768*mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Remote-heavy",
+	SeriesFigure: "Remote-heavy series",
+	RunLabels: []string{
+		workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+		workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+		"warm",
+	},
+}, func(seed uint64, pol policy.Policy, tmemOn bool) core.ClusterConfig {
+	donor := usememClusterNode(seed, pol, tmemOn, 3, 96*mem.MiB, 2)
+
+	receiver := baseConfig(seed, pol, tmemOn, 768*mem.MiB)
+	receiver.VMs = append(receiver.VMs, core.VMSpec{
+		ID: 1, Name: "VM1", RAMBytes: 1 * mem.GiB,
+		Workload: workload.InMemoryAnalytics{
+			Label:          "warm",
+			DatasetBytes:   512 * mem.MiB,
+			Passes:         2,
+			CPUPerPageLoad: 400 * sim.Microsecond,
+			CPUPerPagePass: 4500 * sim.Microsecond,
+			WriteFraction:  0.10,
+		},
+	})
+	return core.ClusterConfig{
+		Nodes:      []core.Config{donor, receiver},
+		RemoteTmem: tmemOn,
+	}
+})
+
+// NodeImbalanceScenario is the asymmetric population: a swarm node (four
+// usemem VMs against a quarter-sized pool) next to an analytics node whose
+// own working set already pressures its pool. The analytics node must serve
+// the swarm's overflow while its policy defends its local VM — the
+// scheduling tension a RAMster deployment actually faces.
+var NodeImbalanceScenario = NewClusterScenario(Scenario{
+	Name: "Node Imbalance",
+	Slug: "node-imbalance",
+	Description: "node 0: 4 usemem VMs vs 256MiB of tmem; node 1: one " +
+		"in-memory-analytics VM (1GB RAM, dataset larger than RAM) vs 512MiB. " +
+		"The busy analytics node also receives the swarm's overflow.",
+	TmemBytes: 256*mem.MiB + 512*mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Node-imbalance",
+	SeriesFigure: "Node-imbalance series",
+	RunLabels: []string{
+		workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+		workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+		"run1",
+	},
+}, func(seed uint64, pol policy.Policy, tmemOn bool) core.ClusterConfig {
+	swarm := usememClusterNode(seed, pol, tmemOn, 4, 256*mem.MiB, 2)
+
+	analytics := baseConfig(seed, pol, tmemOn, 512*mem.MiB)
+	analytics.VMs = append(analytics.VMs, core.VMSpec{
+		ID: 1, Name: "VM1", RAMBytes: 1 * mem.GiB,
+		Workload: inMemoryAnalytics("run1"),
+	})
+	return core.ClusterConfig{
+		Nodes:      []core.Config{swarm, analytics},
+		RemoteTmem: tmemOn,
+	}
+})

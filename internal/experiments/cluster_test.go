@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestClusterScenariosRegistered(t *testing.T) {
+	for _, slug := range []string{"cluster-2", "remote-heavy", "node-imbalance"} {
+		s, err := BySlug(slug)
+		if err != nil {
+			t.Fatalf("BySlug(%q): %v", slug, err)
+		}
+		if !s.IsCluster() {
+			t.Errorf("%s not marked as cluster scenario", slug)
+		}
+		if _, err := s.Build(11, "greedy"); err == nil {
+			t.Errorf("%s.Build did not reject the single-node path", slug)
+		}
+		if _, err := s.BuildCluster(11, "greedy"); err != nil {
+			t.Errorf("%s.BuildCluster: %v", slug, err)
+		}
+	}
+	// Single-node scenarios reject the cluster path symmetrically.
+	s1, err := BySlug("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.BuildCluster(11, "greedy"); err == nil {
+		t.Error("s1.BuildCluster did not reject the cluster path")
+	}
+}
+
+// The acceptance gate for the cluster runtime: a cluster scenario executed
+// through the experiments engine is exactly reproducible run over run.
+func TestClusterScenarioDeterministicUnderEngine(t *testing.T) {
+	s, err := BySlug("cluster-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []JobResult {
+		results, err := RunMatrix([]*Scenario{s}, []string{"smart-alloc:P=2"}, []uint64{11}, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a, b := run(), run()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("result counts: %d, %d", len(a), len(b))
+	}
+	ra, rb := a[0].Result, b[0].Result
+	if ra.EndTime != rb.EndTime {
+		t.Errorf("end times differ: %v vs %v", ra.EndTime, rb.EndTime)
+	}
+	if !reflect.DeepEqual(ra.Runs, rb.Runs) {
+		t.Errorf("runs differ:\n%v\n%v", ra.Runs, rb.Runs)
+	}
+	if !reflect.DeepEqual(ra.Nodes, rb.Nodes) {
+		t.Errorf("node summaries differ:\n%+v\n%+v", ra.Nodes, rb.Nodes)
+	}
+	// Sanity: remote tmem actually flowed between the nodes.
+	if len(ra.Nodes) != 2 || ra.Nodes[0].Remote == nil || ra.Nodes[0].Remote.PutsOK == 0 {
+		t.Errorf("cluster-2 saw no remote traffic: %+v", ra.Nodes)
+	}
+	for _, rec := range ra.Runs {
+		if !strings.HasPrefix(rec.VM, "n0/") && !strings.HasPrefix(rec.VM, "n1/") {
+			t.Errorf("run record %q lacks node prefix", rec.VM)
+		}
+	}
+}
+
+// remote-heavy's reason to exist: with remote tmem the donor node's
+// overflow is absorbed by the peer instead of hitting the swap disk.
+func TestRemoteHeavyAvoidsDisk(t *testing.T) {
+	s, err := BySlug("remote-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRemote, err := RunOne(s, "greedy", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := RunOne(s, "no-tmem", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := withRemote.Nodes[0]
+	if donor.Remote == nil || donor.Remote.PutsOK == 0 {
+		t.Fatalf("donor shipped nothing: %+v", donor)
+	}
+	if donor.DiskOps >= baseline.Nodes[0].DiskOps {
+		t.Errorf("remote tmem did not reduce donor disk traffic: %d vs %d",
+			donor.DiskOps, baseline.Nodes[0].DiskOps)
+	}
+}
+
+func TestRegistryTableListsClusterScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := RegistryTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cluster-2", "remote-heavy", "node-imbalance", "cluster"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("registry table missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestPolicyTableListsBuiltins(t *testing.T) {
+	var sb strings.Builder
+	if err := PolicyTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("policy table missing %q", want)
+		}
+	}
+}

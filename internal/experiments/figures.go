@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"smartmem/internal/policy"
 	"smartmem/internal/report"
 )
 
@@ -63,22 +65,38 @@ func ScenarioTable() *report.Table {
 }
 
 // RegistryTable renders the full scenario registry — paper scenarios,
-// extensions, and any user registrations — plus the parameterized slug
-// families (constructors).
+// extensions (including the multi-node cluster scenarios), and any user
+// registrations — plus the parameterized slug families (constructors).
 func RegistryTable() *report.Table {
 	tb := &report.Table{
 		Title:   "Scenario registry",
-		Headers: []string{"slug", "name", "tmem", "paper", "description"},
+		Headers: []string{"slug", "name", "tmem", "kind", "description"},
 	}
 	for _, s := range All() {
-		paper := ""
-		if s.Paper {
-			paper = "yes"
+		kind := "extension"
+		switch {
+		case s.Paper:
+			kind = "paper"
+		case s.IsCluster():
+			kind = "cluster"
 		}
-		tb.AddRow(s.Slug, s.Name, s.TmemBytes.String(), paper, s.Description)
+		tb.AddRow(s.Slug, s.Name, s.TmemBytes.String(), kind, s.Description)
 	}
 	for _, c := range Constructors() {
 		tb.AddRow(c.Usage, "(parameterized)", "", "", c.Description)
+	}
+	return tb
+}
+
+// PolicyTable renders the policy registry for the commands' -list-policies
+// flags.
+func PolicyTable() *report.Table {
+	tb := &report.Table{
+		Title:   "Policy registry",
+		Headers: []string{"spec", "aliases", "description"},
+	}
+	for _, e := range policy.All() {
+		tb.AddRow(e.Usage, strings.Join(e.Aliases, ", "), e.Description)
 	}
 	return tb
 }

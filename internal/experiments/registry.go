@@ -136,4 +136,8 @@ func init() {
 	Register(mustScale("scale-6"))
 	Register(ChurnScenario)
 	Register(KVHeavyScenario)
+	// Multi-node cluster scenarios (remote tmem tiers).
+	Register(Cluster2Scenario)
+	Register(RemoteHeavyScenario)
+	Register(NodeImbalanceScenario)
 }

@@ -18,13 +18,26 @@ func RunOne(s *Scenario, policySpec string, seed uint64) (*core.Result, error) {
 }
 
 // RunOneWith is RunOne with a lifecycle-event observer (may be nil)
-// subscribed to the run.
+// subscribed to the run. Cluster scenarios execute through the cluster
+// runtime; single-node scenarios through the node runtime. Both produce
+// one merged core.Result, so everything downstream (times tables, series,
+// sinks) treats them uniformly.
 func RunOneWith(s *Scenario, policySpec string, seed uint64, obs core.Observer) (*core.Result, error) {
-	cfg, err := s.Build(seed, policySpec)
-	if err != nil {
-		return nil, err
+	var res *core.Result
+	var err error
+	if s.IsCluster() {
+		var cc core.ClusterConfig
+		cc, err = s.BuildCluster(seed, policySpec)
+		if err == nil {
+			res, err = core.RunClusterWith(nil, cc, obs)
+		}
+	} else {
+		var cfg core.Config
+		cfg, err = s.Build(seed, policySpec)
+		if err == nil {
+			res, err = core.RunWith(nil, cfg, obs)
+		}
 	}
-	res, err := core.RunWith(nil, cfg, obs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s seed %d: %w", s.Slug, policySpec, seed, err)
 	}

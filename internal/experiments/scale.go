@@ -89,45 +89,11 @@ func newScaleScenario(n int) *Scenario {
 			workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
 		},
 		build: func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
-			cfg := baseConfig(seed, pol, tmemOn, mem.Bytes(n)*scaleTmemPerVM)
-			stop := &workload.Flag{}
-			cfg.Stop = stop
-
-			// Stop when every VM has begun its scaleFinalLoops+1'th
-			// max-size traversal, i.e. completed scaleFinalLoops of them.
-			// All milestone callbacks run inside one simulation kernel, so
-			// plain counters are safe.
-			attempts := make(map[string]int, n)
-			doneVMs := 0
-			cfg.OnMilestone = func(vm, label string) {
-				if label != workload.MilestoneLabel(scaleUsememMax) {
-					return
-				}
-				attempts[vm]++
-				if attempts[vm] == scaleFinalLoops+1 {
-					doneVMs++
-					if doneVMs == n {
-						stop.Set()
-					}
-				}
-			}
-
-			u := workload.Usemem{
-				StartBytes: 128 * mem.MiB,
-				StepBytes:  128 * mem.MiB,
-				MaxBytes:   scaleUsememMax,
-				CPUPerPage: 100 * sim.Microsecond,
-			}
-			for i := 1; i <= n; i++ {
-				cfg.VMs = append(cfg.VMs, core.VMSpec{
-					ID:                 tmem.VMID(i),
-					Name:               fmt.Sprintf("VM%d", i),
-					RAMBytes:           scaleVMRAM,
-					KernelReserveBytes: scaleVMReserve,
-					Workload:           u,
-				})
-			}
-			return cfg
+			// One scale node is exactly one cluster node's worth of the
+			// shared usemem-contention recipe (cluster.go): stop when
+			// every VM has begun its scaleFinalLoops+1'th max-size
+			// traversal, i.e. completed scaleFinalLoops of them.
+			return usememClusterNode(seed, pol, tmemOn, n, mem.Bytes(n)*scaleTmemPerVM, scaleFinalLoops)
 		},
 	}
 }

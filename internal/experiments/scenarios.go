@@ -103,8 +103,11 @@ type Scenario struct {
 	// RunLabels enumerates the per-VM measurements the times figure
 	// reports (label → present for which VMs).
 	RunLabels []string
-	// build assembles the core.Config for one run.
+	// build assembles the core.Config for one run (single-node scenarios).
 	build BuildFunc
+	// buildCluster assembles the core.ClusterConfig for one run (cluster
+	// scenarios); exactly one of build/buildCluster is set.
+	buildCluster ClusterBuildFunc
 }
 
 // BuildFunc assembles the runnable configuration for one (seed, policy)
@@ -113,6 +116,12 @@ type Scenario struct {
 // builds run concurrently under the engine, so any cross-VM coordination
 // state (flags, milestone counters) must be allocated inside the call.
 type BuildFunc func(seed uint64, pol policy.Policy, tmemOn bool) core.Config
+
+// ClusterBuildFunc assembles the runnable multi-node configuration for one
+// (seed, policy) combination of a cluster scenario, under the same
+// concurrency contract as BuildFunc: a fresh ClusterConfig (fresh stop
+// flags, milestone counters, per-node Configs) on every call.
+type ClusterBuildFunc func(seed uint64, pol policy.Policy, tmemOn bool) core.ClusterConfig
 
 // NewScenario returns a registrable scenario combining the descriptive
 // fields of s with the given build function (the build field itself is
@@ -123,15 +132,48 @@ func NewScenario(s Scenario, build BuildFunc) *Scenario {
 	return &s
 }
 
+// NewClusterScenario is NewScenario for multi-node scenarios: the build
+// function produces a core.ClusterConfig and runs execute through
+// core.RunCluster.
+func NewClusterScenario(s Scenario, build ClusterBuildFunc) *Scenario {
+	s.buildCluster = build
+	return &s
+}
+
+// IsCluster reports whether the scenario describes a multi-node run.
+func (s *Scenario) IsCluster() bool { return s.buildCluster != nil }
+
+// BuildCluster returns the runnable multi-node configuration for one
+// (seed, policy) combination of a cluster scenario.
+func (s *Scenario) BuildCluster(seed uint64, policySpec string) (core.ClusterConfig, error) {
+	if !s.IsCluster() {
+		return core.ClusterConfig{}, fmt.Errorf("experiments: %s is a single-node scenario; use Build", s.Slug)
+	}
+	pol, err := policy.Parse(policySpec)
+	if err != nil {
+		return core.ClusterConfig{}, err
+	}
+	if policy.IsNoTmem(pol) {
+		return s.buildCluster(seed, nil, false), nil
+	}
+	return s.buildCluster(seed, pol, true), nil
+}
+
 // Build returns the runnable configuration for one (seed, policy)
-// combination. policySpec follows policy.Parse syntax, plus "no-tmem".
+// combination. policySpec follows policy.Parse syntax; "no-tmem" resolves
+// through the registry like any other name (the sentinel selects the
+// baseline). Cluster scenarios have no single-node configuration — use
+// BuildCluster for them.
 func (s *Scenario) Build(seed uint64, policySpec string) (core.Config, error) {
-	if policySpec == policy.NoTmemName {
-		return s.build(seed, nil, false), nil
+	if s.IsCluster() {
+		return core.Config{}, fmt.Errorf("experiments: %s is a cluster scenario; use BuildCluster", s.Slug)
 	}
 	pol, err := policy.Parse(policySpec)
 	if err != nil {
 		return core.Config{}, err
+	}
+	if policy.IsNoTmem(pol) {
+		return s.build(seed, nil, false), nil
 	}
 	return s.build(seed, pol, true), nil
 }

@@ -16,7 +16,8 @@
 // Ops: 1=put, 2=get, 3=flush-page, 4=flush-object, 5=new-pool (key.Pool
 // carries the VM id and key.Object the pool kind; the response status
 // carries the new pool id, which is non-negative and therefore disjoint
-// from the negative error statuses).
+// from the negative error statuses), 6=destroy-pool (key.Pool carries the
+// pool id).
 //
 // Requests are processed in order per connection but may be pipelined: the
 // server keeps reading while responses accumulate in a buffered writer
@@ -34,6 +35,7 @@ import (
 	"net"
 	"sync"
 
+	"smartmem/internal/mem"
 	"smartmem/internal/tmem"
 )
 
@@ -44,6 +46,7 @@ const (
 	OpFlushPage   byte = 3
 	OpFlushObject byte = 4
 	OpNewPool     byte = 5
+	OpDestroyPool byte = 6
 )
 
 const reqHeaderSize = 1 + 16 + 4
@@ -179,6 +182,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 	buf := make([]byte, pageSize)
 	page := make([]byte, pageSize)
 	resp := make([]byte, 0, 5+pageSize)
+	var countBuf [8]byte
 	for {
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF {
@@ -212,10 +216,22 @@ func (s *Server) ServeConn(c net.Conn) error {
 		case OpFlushPage:
 			status = s.backend.FlushPage(key)
 		case OpFlushObject:
-			_, status = s.backend.FlushObject(key.Pool, key.Object)
+			// The pages-freed count rides the response payload so a remote
+			// tier's owner can account exactly (see Client.FlushObjectCount).
+			var freed mem.Pages
+			freed, status = s.backend.FlushObject(key.Pool, key.Object)
+			if status == tmem.STmem {
+				payload = binary.BigEndian.AppendUint64(countBuf[:0], uint64(freed))
+			}
 		case OpNewPool:
 			pool := s.backend.NewPool(tmem.VMID(key.Pool), tmem.PoolKind(key.Object))
 			status = tmem.Status(pool)
+		case OpDestroyPool:
+			if err := s.backend.DestroyPool(key.Pool); err != nil {
+				status = tmem.EInval
+			} else {
+				status = tmem.STmem
+			}
 		default:
 			return fmt.Errorf("kvstore: unknown op %d", hdr[0])
 		}
@@ -320,6 +336,101 @@ func (cl *Client) FlushPage(key tmem.Key) (tmem.Status, error) {
 
 // FlushObject invalidates every page of an object.
 func (cl *Client) FlushObject(pool tmem.PoolID, object tmem.ObjectID) (tmem.Status, error) {
-	st, _, err := cl.do(OpFlushObject, tmem.Key{Pool: pool, Object: object}, nil)
+	_, st, err := cl.FlushObjectCount(pool, object)
 	return st, err
 }
+
+// FlushObjectCount is FlushObject plus the pages-freed count the server
+// reports in the response payload (tmem's objectFlushCounter refinement).
+func (cl *Client) FlushObjectCount(pool tmem.PoolID, object tmem.ObjectID) (mem.Pages, tmem.Status, error) {
+	st, payload, err := cl.do(OpFlushObject, tmem.Key{Pool: pool, Object: object}, nil)
+	var n mem.Pages
+	if err == nil && st == tmem.STmem && len(payload) >= 8 {
+		n = mem.Pages(binary.BigEndian.Uint64(payload))
+	}
+	return n, st, err
+}
+
+// DestroyPool flushes and removes a pool.
+func (cl *Client) DestroyPool(pool tmem.PoolID) (tmem.Status, error) {
+	st, _, err := cl.do(OpDestroyPool, tmem.Key{Pool: pool}, nil)
+	return st, err
+}
+
+// Client implements tmem.PageService: a RemoteTier pointed at a Client
+// ships its overflow pages to a smartmem-kvd daemon over the wire —
+// RAMster-style remote tmem between real processes. A bare Client is not
+// safe for concurrent use; a tier serving a concurrent backend must wrap
+// it in SyncClient.
+var _ tmem.PageService = (*Client)(nil)
+
+// SyncClient wraps a Client with a mutex so one wire connection can serve
+// a concurrent caller (e.g. a RemoteTier attached to a backend handling
+// many connections): each request/response exchange runs under the lock,
+// keeping frames from interleaving on the shared conn.
+type SyncClient struct {
+	mu sync.Mutex
+	cl *Client
+}
+
+// NewSyncClient wraps cl.
+func NewSyncClient(cl *Client) *SyncClient {
+	if cl == nil {
+		panic("kvstore: nil client")
+	}
+	return &SyncClient{cl: cl}
+}
+
+// Close closes the underlying connection.
+func (s *SyncClient) Close() error { return s.cl.Close() }
+
+// NewPool implements tmem.PageService.
+func (s *SyncClient) NewPool(vm tmem.VMID, kind tmem.PoolKind) (tmem.PoolID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.NewPool(vm, kind)
+}
+
+// Put implements tmem.PageService.
+func (s *SyncClient) Put(key tmem.Key, data []byte) (tmem.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Put(key, data)
+}
+
+// Get implements tmem.PageService.
+func (s *SyncClient) Get(key tmem.Key) (tmem.Status, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.Get(key)
+}
+
+// FlushPage implements tmem.PageService.
+func (s *SyncClient) FlushPage(key tmem.Key) (tmem.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.FlushPage(key)
+}
+
+// FlushObject implements tmem.PageService.
+func (s *SyncClient) FlushObject(pool tmem.PoolID, object tmem.ObjectID) (tmem.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.FlushObject(pool, object)
+}
+
+// FlushObjectCount mirrors Client.FlushObjectCount under the lock.
+func (s *SyncClient) FlushObjectCount(pool tmem.PoolID, object tmem.ObjectID) (mem.Pages, tmem.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.FlushObjectCount(pool, object)
+}
+
+// DestroyPool implements tmem.PageService.
+func (s *SyncClient) DestroyPool(pool tmem.PoolID) (tmem.Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.DestroyPool(pool)
+}
+
+var _ tmem.PageService = (*SyncClient)(nil)

@@ -192,3 +192,58 @@ func TestConstructorValidation(t *testing.T) {
 		}()
 	}
 }
+
+func TestDestroyPoolOverWire(t *testing.T) {
+	cl, srv := pipeRig(t, 64)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if st, err := cl.Put(tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}, page(byte(i))); err != nil || st != tmem.STmem {
+			t.Fatalf("Put %d = %v, %v", i, st, err)
+		}
+	}
+	st, err := cl.DestroyPool(pool)
+	if err != nil || st != tmem.STmem {
+		t.Fatalf("DestroyPool = %v, %v", st, err)
+	}
+	if used := srv.Backend().TotalPages() - srv.Backend().FreePages(); used != 0 {
+		t.Errorf("store still holds %d pages after pool destruction", used)
+	}
+	// Destroying an unknown pool reports E_INVAL, not a dead connection.
+	st, err = cl.DestroyPool(pool)
+	if err != nil || st != tmem.EInval {
+		t.Errorf("double destroy = %v, %v (want E_INVAL)", st, err)
+	}
+}
+
+// TestRemoteTierOverWire drives a tmem.RemoteTier through a real Client —
+// the RAMster-style topology smartmem-kvd's -remote flag assembles: a small
+// front store whose overflow lands on a kvd peer across the wire.
+func TestRemoteTierOverWire(t *testing.T) {
+	peerClient, peerSrv := pipeRig(t, 256)
+	front := tmem.NewBackend(2, tmem.NewDataStore(pageSize))
+	front.AttachTier(tmem.NewRemoteTier("kvd-peer", peerClient, 1000))
+
+	pool := front.NewPool(1, tmem.Persistent)
+	for i := 0; i < 8; i++ {
+		if st := front.Put(tmem.Key{Pool: pool, Object: 3, Index: tmem.PageIndex(i)}, page(byte(i))); st != tmem.STmem {
+			t.Fatalf("Put %d = %v", i, st)
+		}
+	}
+	if got := peerSrv.Backend().UsedBy(1000); got != 6 {
+		t.Fatalf("peer absorbed %d pages, want 6", got)
+	}
+	dst := make([]byte, pageSize)
+	for i := 7; i >= 0; i-- {
+		key := tmem.Key{Pool: pool, Object: 3, Index: tmem.PageIndex(i)}
+		if st := front.Get(key, dst); st != tmem.STmem || dst[0] != byte(i) {
+			t.Fatalf("Get %d = %v (dst[0]=%#x)", i, st, dst[0])
+		}
+	}
+	front.UnregisterVM(1)
+	if got := peerSrv.Backend().UsedBy(1000); got != 0 {
+		t.Errorf("peer still holds %d pages after front VM shutdown", got)
+	}
+}

@@ -12,8 +12,6 @@ package policy
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"smartmem/internal/mem"
 	"smartmem/internal/tmem"
@@ -225,55 +223,26 @@ func (d *Dedup) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
 	return out
 }
 
-// NoTmem is not a target policy but a scenario mode: tmem disabled
-// entirely, every swap goes to disk. It exists in this package so callers
-// can name it uniformly; the node honours it by not attaching tmem pools.
+// NoTmemName names the no-tmem baseline mode uniformly across the tools.
 const NoTmemName = "no-tmem"
 
-// Parse builds a policy from a specification string:
-//
-//	greedy | static-alloc | reconf-static | smart-alloc:P=<pct>[,threshold=<pages>]
-//
-// It is used by the command-line tools and the benchmark harness.
-func Parse(spec string) (Policy, error) {
-	name, args, _ := strings.Cut(spec, ":")
-	switch name {
-	case "greedy":
-		return Greedy{}, nil
-	case "static-alloc", "static":
-		return StaticAlloc{}, nil
-	case "reconf-static", "reconf":
-		return ReconfStatic{}, nil
-	case "smart-alloc", "smart":
-		p := SmartAlloc{P: 2}
-		if args != "" {
-			for _, kv := range strings.Split(args, ",") {
-				k, v, ok := strings.Cut(kv, "=")
-				if !ok {
-					return nil, fmt.Errorf("policy: bad smart-alloc argument %q", kv)
-				}
-				switch k {
-				case "P", "p":
-					f, err := strconv.ParseFloat(v, 64)
-					if err != nil || f <= 0 || f > 100 {
-						return nil, fmt.Errorf("policy: bad P value %q", v)
-					}
-					p.P = f
-				case "threshold":
-					t, err := strconv.ParseInt(v, 10, 64)
-					if err != nil || t < 0 {
-						return nil, fmt.Errorf("policy: bad threshold %q", v)
-					}
-					p.Threshold = mem.Pages(t)
-				default:
-					return nil, fmt.Errorf("policy: unknown smart-alloc argument %q", k)
-				}
-			}
-		}
-		return p, nil
-	default:
-		return nil, fmt.Errorf("policy: unknown policy %q", name)
-	}
+// NoTmem is the baseline-mode sentinel: not a target policy but the request
+// to disable tmem entirely, sending every swap to disk. Parse returns it
+// for "no-tmem" so callers need not special-case the spec, and the node
+// honours it by not attaching tmem pools (core.Config treats a NoTmem
+// policy exactly like TmemEnabled=false).
+type NoTmem struct{}
+
+// Name implements Policy.
+func (NoTmem) Name() string { return NoTmemName }
+
+// Targets implements Policy; the baseline never has anything to send.
+func (NoTmem) Targets(tmem.MemStats) []tmem.TargetUpdate { return nil }
+
+// IsNoTmem reports whether p is the no-tmem baseline sentinel.
+func IsNoTmem(p Policy) bool {
+	_, ok := p.(NoTmem)
+	return ok
 }
 
 // Compile-time interface checks.
@@ -283,4 +252,5 @@ var (
 	_ Policy = ReconfStatic{}
 	_ Policy = SmartAlloc{}
 	_ Policy = (*Dedup)(nil)
+	_ Policy = NoTmem{}
 )

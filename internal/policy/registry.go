@@ -1,0 +1,170 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"smartmem/internal/mem"
+)
+
+// The policy registry mirrors the scenario registry of internal/experiments:
+// built-in policies self-register at init, user policies register through
+// Register, and Parse resolves any registered name (with optional ":"-
+// separated arguments) to a Policy value. The registry is safe for
+// concurrent use so sweeps and servers can parse specs from any goroutine.
+
+// Entry describes one registered policy family.
+type Entry struct {
+	// Name is the canonical spec name ("smart-alloc").
+	Name string
+	// Aliases are accepted alternative names ("smart").
+	Aliases []string
+	// Usage documents the spec syntax ("smart-alloc:P=<pct>[,threshold=<pages>]").
+	Usage string
+	// Description is a one-line summary for listings.
+	Description string
+	// Build constructs the policy from the argument portion of a spec (the
+	// text after ":", empty when absent).
+	Build func(args string) (Policy, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	order  []string
+	byName map[string]*Entry
+}{byName: make(map[string]*Entry)}
+
+// Register adds a policy family to the registry. It panics on an empty or
+// duplicate name — programming errors in an init path, exactly like the
+// scenario registry.
+func Register(e Entry) {
+	if e.Name == "" || e.Build == nil {
+		panic("policy: Register with empty name or nil Build")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, name := range append([]string{e.Name}, e.Aliases...) {
+		if _, dup := registry.byName[name]; dup {
+			panic(fmt.Sprintf("policy: duplicate policy name %q", name))
+		}
+		registry.byName[name] = &e
+	}
+	registry.order = append(registry.order, e.Name)
+}
+
+// All returns every registered policy family in registration order
+// (built-ins first, then user registrations).
+func All() []Entry {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Entry, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, *registry.byName[name])
+	}
+	return out
+}
+
+// Names returns the canonical registered names in registration order.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]string(nil), registry.order...)
+}
+
+// Parse builds a policy from a specification string:
+//
+//	no-tmem | greedy | static-alloc | reconf-static |
+//	smart-alloc:P=<pct>[,threshold=<pages>]
+//
+// plus any user-registered names. It is used by the command-line tools and
+// the benchmark harness. "no-tmem" parses to the NoTmem sentinel, which the
+// node honours by disabling tmem entirely — callers no longer need to
+// special-case it.
+func Parse(spec string) (Policy, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	registry.RLock()
+	e := registry.byName[name]
+	registry.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return e.Build(args)
+}
+
+// noArgs wraps a fixed policy value as a Build func, rejecting arguments.
+func noArgs(name string, p Policy) func(string) (Policy, error) {
+	return func(args string) (Policy, error) {
+		if args != "" {
+			return nil, fmt.Errorf("policy: %s takes no arguments (got %q)", name, args)
+		}
+		return p, nil
+	}
+}
+
+func buildSmartAlloc(args string) (Policy, error) {
+	p := SmartAlloc{P: 2}
+	if args == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("policy: bad smart-alloc argument %q", kv)
+		}
+		switch k {
+		case "P", "p":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f > 100 {
+				return nil, fmt.Errorf("policy: bad P value %q", v)
+			}
+			p.P = f
+		case "threshold":
+			t, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || t < 0 {
+				return nil, fmt.Errorf("policy: bad threshold %q", v)
+			}
+			p.Threshold = mem.Pages(t)
+		default:
+			return nil, fmt.Errorf("policy: unknown smart-alloc argument %q", k)
+		}
+	}
+	return p, nil
+}
+
+func init() {
+	Register(Entry{
+		Name:        NoTmemName,
+		Usage:       NoTmemName,
+		Description: "baseline: tmem disabled entirely, every swap goes to disk",
+		Build:       noArgs(NoTmemName, NoTmem{}),
+	})
+	Register(Entry{
+		Name:        "greedy",
+		Usage:       "greedy",
+		Description: "hypervisor default: first come, first served, no targets",
+		Build:       noArgs("greedy", Greedy{}),
+	})
+	Register(Entry{
+		Name:        "static-alloc",
+		Aliases:     []string{"static"},
+		Usage:       "static-alloc",
+		Description: "Algorithm 2: divide tmem equally across registered VMs",
+		Build:       noArgs("static-alloc", StaticAlloc{}),
+	})
+	Register(Entry{
+		Name:        "reconf-static",
+		Aliases:     []string{"reconf"},
+		Usage:       "reconf-static",
+		Description: "Algorithm 3: divide tmem equally across VMs actively using it",
+		Build:       noArgs("reconf-static", ReconfStatic{}),
+	})
+	Register(Entry{
+		Name:        "smart-alloc",
+		Aliases:     []string{"smart"},
+		Usage:       "smart-alloc:P=<pct>[,threshold=<pages>]",
+		Description: "Algorithm 4: per-VM demand-driven targets grown/shrunk by P%",
+		Build:       buildSmartAlloc,
+	})
+}

@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"smartmem/internal/tmem"
+)
+
+func TestRegistryListsBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing built-in %q (got %v)", w, names)
+		}
+	}
+	for _, e := range All() {
+		if e.Usage == "" || e.Description == "" {
+			t.Errorf("entry %q lacks usage/description", e.Name)
+		}
+	}
+}
+
+func TestParseDelegatesToRegistry(t *testing.T) {
+	for spec, wantName := range map[string]string{
+		"greedy":            "greedy",
+		"static-alloc":      "static-alloc",
+		"static":            "static-alloc",
+		"reconf-static":     "reconf-static",
+		"reconf":            "reconf-static",
+		"smart-alloc:P=0.5": "smart-alloc(P=0.5%)",
+		"smart":             "smart-alloc(P=2%)",
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() != wantName {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, p.Name(), wantName)
+		}
+	}
+	if _, err := Parse("nonsense"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("Parse(nonsense) = %v", err)
+	}
+	if _, err := Parse("greedy:x=1"); err == nil {
+		t.Error("greedy accepted arguments")
+	}
+}
+
+// The fix for the long-standing asymmetry: NoTmemName exists but Parse used
+// to reject it, forcing every caller to special-case the baseline.
+func TestParseAcceptsNoTmem(t *testing.T) {
+	p, err := Parse(NoTmemName)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", NoTmemName, err)
+	}
+	if !IsNoTmem(p) {
+		t.Fatalf("Parse(%q) = %T, want the NoTmem sentinel", NoTmemName, p)
+	}
+	if p.Name() != NoTmemName {
+		t.Errorf("sentinel name = %q", p.Name())
+	}
+	if out := p.Targets(tmem.MemStats{}); out != nil {
+		t.Errorf("NoTmem.Targets = %v, want nil", out)
+	}
+	if IsNoTmem(Greedy{}) {
+		t.Error("IsNoTmem(Greedy) = true")
+	}
+}
+
+func TestUserRegistration(t *testing.T) {
+	Register(Entry{
+		Name:        "test-half",
+		Usage:       "test-half",
+		Description: "test policy: half of total to every VM",
+		Build: func(string) (Policy, error) {
+			return StaticAlloc{}, nil
+		},
+	})
+	if _, err := Parse("test-half"); err != nil {
+		t.Fatalf("user-registered policy not parseable: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Entry{Name: "test-half", Build: func(string) (Policy, error) { return nil, nil }})
+}

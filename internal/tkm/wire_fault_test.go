@@ -1,0 +1,166 @@
+package tkm
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"smartmem/internal/policy"
+)
+
+// Wire fault injection for the TKM↔MM exchange: every torn-transport shape
+// must surface as a TKM.Errors increment and a prompt Tick error — the tick
+// loop then degrades to greedy (targets stop changing) instead of wedging.
+
+// tickWithFaultyPeer runs one TKM tick against a peer driven by fault, and
+// fails the test if the tick wedges instead of returning.
+func tickWithFaultyPeer(t *testing.T, name string, fault func(peer net.Conn)) {
+	t.Helper()
+	tkmEnd, mmEnd := net.Pipe()
+	defer tkmEnd.Close()
+	go fault(mmEnd)
+
+	b := newBackend(900, 1, 2)
+	tk := New(b, NewRemoteMM(tkmEnd))
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := tk.Tick()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("%s: fault swallowed, Tick returned nil", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: Tick wedged on the torn exchange", name)
+	}
+	if tk.Errors != 1 {
+		t.Errorf("%s: TKM.Errors = %d, want 1", name, tk.Errors)
+	}
+
+	// The loop is not wedged: the next tick also fails promptly (the
+	// connection is dead) rather than blocking the caller.
+	done2 := make(chan error, 1)
+	go func() {
+		_, _, err := tk.Tick()
+		done2 <- err
+	}()
+	select {
+	case err := <-done2:
+		if err == nil {
+			t.Errorf("%s: second Tick on dead conn returned nil", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s: second Tick wedged", name)
+	}
+	if tk.Errors != 2 {
+		t.Errorf("%s: TKM.Errors after second tick = %d, want 2", name, tk.Errors)
+	}
+}
+
+// drainStats consumes the TKM's stats frame so the fault can strike the
+// response phase.
+func drainStats(t *testing.T, peer net.Conn) bool {
+	var hdr [5]byte
+	if _, err := io.ReadFull(peer, hdr[:]); err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if _, err := io.CopyN(io.Discard, peer, int64(n)); err != nil {
+		return false
+	}
+	return true
+}
+
+func TestTickSurvivesTruncatedTargetsFrame(t *testing.T) {
+	tickWithFaultyPeer(t, "truncated frame", func(peer net.Conn) {
+		if !drainStats(t, peer) {
+			return
+		}
+		// A targets header announcing 64 payload bytes, then the wire dies
+		// after 3: the TKM's ReadFull must fail with unexpected EOF.
+		hdr := [5]byte{MsgTargets}
+		binary.BigEndian.PutUint32(hdr[1:], 64)
+		peer.Write(hdr[:])
+		peer.Write([]byte{1, 2, 3})
+		peer.Close()
+	})
+}
+
+func TestTickSurvivesOversizedLengthPrefix(t *testing.T) {
+	tickWithFaultyPeer(t, "oversized prefix", func(peer net.Conn) {
+		if !drainStats(t, peer) {
+			return
+		}
+		// A hostile/corrupt peer announces a payload far over MaxFrameSize;
+		// the TKM must reject the frame instead of trying to allocate and
+		// read 4 GiB.
+		hdr := [5]byte{MsgTargets, 0xFF, 0xFF, 0xFF, 0xFF}
+		peer.Write(hdr[:])
+		// Keep the conn open: the error must come from the length check,
+		// not from a close.
+		time.Sleep(50 * time.Millisecond)
+		peer.Close()
+	})
+}
+
+func TestTickSurvivesConnClosedMidExchange(t *testing.T) {
+	tickWithFaultyPeer(t, "closed mid-exchange", func(peer net.Conn) {
+		// Read the stats frame, then vanish without answering.
+		drainStats(t, peer)
+		peer.Close()
+	})
+}
+
+func TestTickSurvivesConnClosedBeforeSend(t *testing.T) {
+	tickWithFaultyPeer(t, "closed before send", func(peer net.Conn) {
+		// The MM died before the exchange: the stats write itself fails.
+		peer.Close()
+	})
+}
+
+// The node-level behaviour the tick loop relies on: after a torn exchange
+// the backend's targets are untouched (greedy degradation), not corrupted.
+func TestTornExchangeLeavesTargetsUntouched(t *testing.T) {
+	tkmEnd, mmEnd := net.Pipe()
+	defer tkmEnd.Close()
+
+	b := newBackend(1000, 1, 2)
+	tk := New(b, NewRemoteMM(tkmEnd))
+
+	// First tick completes normally against a live MM.
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		conn := NewConn(mmEnd)
+		ms, err := conn.ReadStats()
+		if err != nil {
+			return
+		}
+		_ = conn.WriteTargets(policy.StaticAlloc{}.Targets(ms))
+		mmEnd.Close()
+	}()
+	if _, _, err := tk.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	<-serveDone
+	if b.Target(1) != 500 || b.Target(2) != 500 {
+		t.Fatalf("targets after live tick = %d/%d", b.Target(1), b.Target(2))
+	}
+
+	// Second tick hits the closed conn: error surfaces, targets keep their
+	// last values.
+	if _, _, err := tk.Tick(); err == nil {
+		t.Fatal("tick on closed conn returned nil")
+	}
+	if tk.Errors != 1 {
+		t.Errorf("Errors = %d", tk.Errors)
+	}
+	if b.Target(1) != 500 || b.Target(2) != 500 {
+		t.Errorf("targets corrupted by torn exchange: %d/%d", b.Target(1), b.Target(2))
+	}
+}

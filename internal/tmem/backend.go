@@ -108,6 +108,11 @@ type Backend struct {
 	shards    []*shard
 	shardMask uint64
 
+	// tiers are the hierarchy levels below the local striped store (tier 0):
+	// overflow puts, misses and flushes cascade down this slice in order.
+	// Attached before traffic starts and read lock-free on the data path.
+	tiers []Tier
+
 	totalPages mem.Pages
 	// freePages mirrors the summed allocator state (node_info.free_tmem).
 	freePages atomic.Int64
@@ -221,6 +226,20 @@ func newBackend(totalPages mem.Pages, stores []PageStore) *Backend {
 
 // Shards returns the number of lock stripes.
 func (b *Backend) Shards() int { return len(b.shards) }
+
+// AttachTier appends a tier to the backend's hierarchy: the local striped
+// store is tier 0, the first attached tier is tier 1, and so on. Tiers must
+// be attached before the backend serves traffic — the tier slice is read
+// without a lock on the data path.
+func (b *Backend) AttachTier(t Tier) {
+	if t == nil {
+		panic("tmem: nil tier")
+	}
+	b.tiers = append(b.tiers, t)
+}
+
+// Tiers returns the attached tiers (tier 1 and below), in order.
+func (b *Backend) Tiers() []Tier { return append([]Tier(nil), b.tiers...) }
 
 // shardFor maps a key to its lock stripe.
 func (b *Backend) shardFor(key Key) *shard {
@@ -379,7 +398,19 @@ func (b *Backend) purgePools(pools []*Pool) {
 			}
 			delete(sh.objects, k)
 		}
+		for k := range sh.remote {
+			if doomed[k.pool] {
+				delete(sh.remote, k)
+			}
+		}
 		sh.mu.Unlock()
+	}
+	// Release everything the lower tiers hold for the dead pools (one
+	// remote pool destruction per tier and pool, not per page).
+	for _, t := range b.tiers {
+		for _, p := range pools {
+			t.DropPool(p.id)
+		}
 	}
 }
 
@@ -452,46 +483,121 @@ func (b *Backend) evictHead(sh *shard) bool {
 // consuming a new frame (Xen's "duplicate put" path). data may be nil for a
 // zero page; it is copied before Put returns, so the caller may reuse the
 // buffer — the page-copy–based interface of the paper.
+//
+// With tiers attached, a put the local store rejects with E_TMEM (over
+// target or out of frames) is offered down the tier stack; the first tier
+// accepting it turns the guest-visible status back into S_TMEM, sparing the
+// guest a disk swap. The local rejection still counts as a failed put in
+// the MemStats sample, so policies keep seeing the pressure that caused the
+// overflow.
 func (b *Backend) Put(key Key, data []byte) Status {
 	p := b.pool(key.Pool)
 	if p == nil {
 		return EInval
 	}
+	st, fromTier, sh := b.putLocal(p, key, data)
+	if len(b.tiers) == 0 {
+		return st
+	}
+	switch {
+	case st == STmem && fromTier >= 0:
+		// A fresh local copy supersedes the page's lower-tier copy; drop
+		// the stale one so it can never shadow the new contents — unless a
+		// concurrent overflow re-tracked the key in the meantime (then the
+		// tier slot holds that newer acknowledged copy, not our stale one,
+		// and must survive). Concurrent same-key operations from KV
+		// clients otherwise have undefined ordering, as with any
+		// concurrent store.
+		if sh.remoteTier(key) < 0 {
+			b.tiers[fromTier].FlushPage(key)
+		}
+	case st == ETmem:
+		// A key already tracked in a tier is re-offered there first (the
+		// tier replaces contents in place); otherwise the stack is walked
+		// top-down and the accepting tier recorded. Tracking happens only
+		// if no concurrent put landed the key locally in the meantime —
+		// the tier copy is flushed instead, so a page is never both local
+		// and tracked (see noteRemoteIfFree).
+		tried := -1
+		if ti := sh.remoteTier(key); ti >= 0 {
+			if b.tiers[ti].Put(key, p.kind, data) == STmem {
+				if !sh.noteRemoteIfFree(key, ti) {
+					b.tiers[ti].FlushPage(key)
+				}
+				return STmem
+			}
+			sh.dropRemote(key)
+			tried = ti
+		}
+		for i, t := range b.tiers {
+			if i == tried {
+				continue // this tier just rejected the re-offer
+			}
+			if t.Put(key, p.kind, data) == STmem {
+				if !sh.noteRemoteIfFree(key, i) {
+					t.FlushPage(key)
+				}
+				return STmem
+			}
+		}
+	}
+	return st
+}
+
+// PutLocal is Put restricted to tier 0, the local striped store. It is the
+// surface Loopback serves to remote peers: an overflow page accepted on
+// behalf of a peer can never cascade into this node's own tiers.
+func (b *Backend) PutLocal(key Key, data []byte) Status {
+	p := b.pool(key.Pool)
+	if p == nil {
+		return EInval
+	}
+	st, _, _ := b.putLocal(p, key, data)
+	return st
+}
+
+// putLocal runs the local put path of Algorithm 1. fromTier reports the
+// tier index a lower-tier copy of key was tracked under (-1 when none) so
+// the caller can invalidate the now-stale copy after a local success; the
+// key's shard rides along so the tiered path need not re-hash the key.
+func (b *Backend) putLocal(p *Pool, key Key, data []byte) (st Status, fromTier int, sh *shard) {
 	a := p.acct
 	a.putsTotal.Add(1)
 	a.cumulPutsTotal.Add(1)
 
-	sh := b.shardFor(key)
+	sh = b.shardFor(key)
 	for {
-		st, retry := b.tryPut(sh, p, a, key, data)
+		st, retry, ti := b.tryPut(sh, p, a, key, data)
 		if !retry {
-			return st
+			return st, ti, sh
 		}
 		// Algorithm 1, line 7: the node is out of frames. Ephemeral pages
 		// are sacrificed first, as in Xen, before failing the put. Each
 		// eviction frees exactly one frame, so the loop makes progress
 		// even when concurrent puts race for it.
 		if !b.evictOldest() {
-			return ETmem
+			return ETmem, -1, sh
 		}
 	}
 }
 
 // tryPut performs one put attempt under the shard lock. retry is true when
-// the attempt failed only for want of a free frame.
-func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, retry bool) {
+// the attempt failed only for want of a free frame; fromTier is the tier a
+// lower-tier copy was tracked under when a fresh insert succeeded (-1
+// otherwise) — the tracking entry is consumed here, under the lock.
+func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, retry bool, fromTier int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
 	if p.dead.Load() {
-		return EInval, false
+		return EInval, false, -1
 	}
 
 	// Duplicate put: replace contents, no capacity change.
 	if e := sh.lookup(key); e != nil {
 		h, err := sh.store.Save(data)
 		if err != nil {
-			return EInval, false
+			return EInval, false, -1
 		}
 		if err := sh.store.Drop(e.handle); err != nil {
 			panic(fmt.Sprintf("tmem: page store accounting broken: %v", err))
@@ -503,7 +609,7 @@ func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte)
 		}
 		a.putsSucc.Add(1)
 		a.cumulPutsSucc.Add(1)
-		return STmem, false
+		return STmem, false, -1
 	}
 
 	// Algorithm 1, line 5: target enforcement. Reserve the page with an
@@ -512,18 +618,18 @@ func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte)
 	// target. Equivalent to the old "used >= target" check when serial.
 	if mem.Pages(a.tmemUsed.Add(1)) > a.target() {
 		a.tmemUsed.Add(-1)
-		return ETmem, false
+		return ETmem, false, -1
 	}
 	frame, ok := b.allocFrame(sh)
 	if !ok {
 		a.tmemUsed.Add(-1)
-		return ETmem, true
+		return ETmem, true, -1
 	}
 	h, err := sh.store.Save(data)
 	if err != nil {
 		b.releaseFrame(frame)
 		a.tmemUsed.Add(-1)
-		return EInval, false
+		return EInval, false, -1
 	}
 	e := &entry{key: key, pool: p, acct: a, frame: frame, handle: h}
 	k := objKey{key.Pool, key.Object}
@@ -539,13 +645,17 @@ func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte)
 	}
 	a.putsSucc.Add(1)
 	a.cumulPutsSucc.Add(1)
-	return STmem, false
+	return STmem, false, sh.takeRemote(key)
 }
 
 // Get copies the page stored under key into dst (which may be nil when the
 // caller only cares about presence). Ephemeral hits are always destructive
 // (Xen semantics); persistent hits leave the page in place — the guest
 // issues an explicit FlushPage when it invalidates the swap slot.
+//
+// With tiers attached, a local miss on a key whose copy was shipped to a
+// lower tier is served from that tier (and counted as a hit: tmem served
+// the page, wherever it sat).
 func (b *Backend) Get(key Key, dst []byte) Status {
 	p := b.pool(key.Pool)
 	if p == nil {
@@ -556,11 +666,53 @@ func (b *Backend) Get(key Key, dst []byte) Status {
 
 	sh := b.shardFor(key)
 	sh.mu.Lock()
+	if e := sh.lookup(key); e != nil {
+		st := b.getHitLocked(sh, p, a, e, dst)
+		sh.mu.Unlock()
+		return st
+	}
+	ti := -1
+	if len(b.tiers) > 0 {
+		ti = sh.remoteOf(key)
+	}
+	sh.mu.Unlock()
+	if ti < 0 {
+		return ETmem
+	}
+	if b.tiers[ti].Get(key, dst) == STmem {
+		a.cumulGetsHit.Add(1)
+		if p.kind == Ephemeral {
+			// Lower-tier ephemeral gets are destructive too.
+			sh.dropRemote(key)
+		}
+		return STmem
+	}
+	// The tier no longer holds the page (an ephemeral drop on the peer, or
+	// the tier went down); stop tracking it.
+	sh.dropRemote(key)
+	return ETmem
+}
+
+// GetLocal is Get restricted to tier 0 (the Loopback surface; see PutLocal).
+func (b *Backend) GetLocal(key Key, dst []byte) Status {
+	p := b.pool(key.Pool)
+	if p == nil {
+		return EInval
+	}
+	a := p.acct
+	a.cumulGetsTotal.Add(1)
+	sh := b.shardFor(key)
+	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e := sh.lookup(key)
 	if e == nil {
 		return ETmem
 	}
+	return b.getHitLocked(sh, p, a, e, dst)
+}
+
+// getHitLocked serves a local hit; the caller holds sh.mu.
+func (b *Backend) getHitLocked(sh *shard, p *Pool, a *vmAccount, e *entry, dst []byte) Status {
 	if dst != nil {
 		if err := sh.store.Load(e.handle, dst); err != nil {
 			return EInval
@@ -574,8 +726,9 @@ func (b *Backend) Get(key Key, dst []byte) Status {
 	return STmem
 }
 
-// Contains reports whether key is currently stored (non-destructive even
-// for ephemeral pools; diagnostic use only).
+// Contains reports whether key is currently stored — locally or tracked in
+// a lower tier (non-destructive even for ephemeral pools; diagnostic use
+// only).
 func (b *Backend) Contains(key Key) bool {
 	if b.pool(key.Pool) == nil {
 		return false
@@ -583,13 +736,41 @@ func (b *Backend) Contains(key Key) bool {
 	sh := b.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.lookup(key) != nil
+	return sh.lookup(key) != nil || sh.remoteOf(key) >= 0
 }
 
 // FlushPage invalidates a single page (paper Algorithm 1 FLUSH path:
 // deallocate, tmem_used--). Flushing an absent page returns ETmem, which
-// guests treat as harmless.
+// guests treat as harmless. A page whose live copy sits in a lower tier is
+// flushed there.
 func (b *Backend) FlushPage(key Key) Status {
+	p := b.pool(key.Pool)
+	if p == nil {
+		return EInval
+	}
+	sh := b.shardFor(key)
+	sh.mu.Lock()
+	if e := sh.lookup(key); e != nil {
+		sh.removeEntry(e)
+		b.dropEntry(sh, e)
+		sh.mu.Unlock()
+		p.acct.cumulFlushes.Add(1)
+		return STmem
+	}
+	ti := -1
+	if len(b.tiers) > 0 {
+		ti = sh.takeRemote(key)
+	}
+	sh.mu.Unlock()
+	if ti >= 0 && b.tiers[ti].FlushPage(key) == STmem {
+		p.acct.cumulFlushes.Add(1)
+		return STmem
+	}
+	return ETmem
+}
+
+// FlushPageLocal is FlushPage restricted to tier 0 (the Loopback surface).
+func (b *Backend) FlushPageLocal(key Key) Status {
 	p := b.pool(key.Pool)
 	if p == nil {
 		return EInval
@@ -609,14 +790,58 @@ func (b *Backend) FlushPage(key Key) Status {
 
 // FlushObject invalidates every page of an object, returning the number of
 // pages freed. The object's pages spread across shards, so every stripe is
-// visited (object flushes are rare next to page operations).
+// visited (object flushes are rare next to page operations); pages tracked
+// in lower tiers are flushed there with one object flush per involved tier.
 func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) {
 	p := b.pool(pool)
 	if p == nil {
 		return 0, EInval
 	}
 	k := objKey{pool, object}
-	var n mem.Pages
+	n, remote := b.flushObjectLocal(k)
+	for ti, cnt := range remote {
+		if cnt <= 0 {
+			continue
+		}
+		freed, st := b.tiers[ti].FlushObject(pool, object)
+		if st != STmem {
+			continue
+		}
+		if freed < 0 {
+			// Transport couldn't count; best effort: credit the tracked
+			// pages (may overcount if the peer evicted some beforehand).
+			freed = cnt
+		}
+		n += freed
+	}
+	if n == 0 {
+		return 0, ETmem
+	}
+	p.acct.cumulFlushes.Add(uint64(n))
+	return n, STmem
+}
+
+// FlushObjectLocal is FlushObject restricted to tier 0 (the Loopback
+// surface).
+func (b *Backend) FlushObjectLocal(pool PoolID, object ObjectID) (mem.Pages, Status) {
+	p := b.pool(pool)
+	if p == nil {
+		return 0, EInval
+	}
+	n, _ := b.flushObjectLocal(objKey{pool, object})
+	if n == 0 {
+		return 0, ETmem
+	}
+	p.acct.cumulFlushes.Add(uint64(n))
+	return n, STmem
+}
+
+// flushObjectLocal sweeps an object out of every shard's local maps and
+// tier tracking; remote[i] counts the pages that were tracked in tier i.
+func (b *Backend) flushObjectLocal(k objKey) (n mem.Pages, remote []mem.Pages) {
+	if len(b.tiers) > 0 {
+		remote = make([]mem.Pages, len(b.tiers))
+	}
 	for _, sh := range b.shards {
 		sh.mu.Lock()
 		if obj, ok := sh.objects[k]; ok {
@@ -626,13 +851,15 @@ func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) 
 			}
 			delete(sh.objects, k)
 		}
+		if sh.remote != nil {
+			for _, ti := range sh.remote[k] {
+				remote[ti]++
+			}
+			delete(sh.remote, k)
+		}
 		sh.mu.Unlock()
 	}
-	if n == 0 {
-		return 0, ETmem
-	}
-	p.acct.cumulFlushes.Add(uint64(n))
-	return n, STmem
+	return n, remote
 }
 
 // SetTarget installs the MM-computed allocation target for a VM
@@ -727,6 +954,21 @@ func (b *Backend) CheckInvariants() error {
 				return fmt.Errorf("tmem: shard holds entries of unknown pool %d", k.pool)
 			}
 			entryPages[k.pool] += mem.Pages(len(obj))
+		}
+		for k, rm := range sh.remote {
+			if _, ok := b.pools[k.pool]; !ok {
+				return fmt.Errorf("tmem: shard tracks tier pages of unknown pool %d", k.pool)
+			}
+			for idx, ti := range rm {
+				if ti < 0 || ti >= len(b.tiers) {
+					return fmt.Errorf("tmem: page %v tracked in nonexistent tier %d", Key{k.pool, k.object, idx}, ti)
+				}
+				if obj, ok := sh.objects[k]; ok {
+					if _, dup := obj[idx]; dup {
+						return fmt.Errorf("tmem: page %v held both locally and in tier %d", Key{k.pool, k.object, idx}, ti)
+					}
+				}
+			}
 		}
 		storeCount += sh.store.Count()
 	}

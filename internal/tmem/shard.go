@@ -36,6 +36,12 @@ type shard struct {
 	store   PageStore
 	objects map[objKey]map[PageIndex]*entry
 
+	// remote tracks this stripe's keys whose live copy sits in a lower
+	// tier of the backend's hierarchy (value = tier index). Guarded by mu
+	// like the object maps, so the tier stack adds no new locks to the hot
+	// path; nil until the first overflow, so tier-less backends pay nothing.
+	remote map[objKey]map[PageIndex]int
+
 	// Ephemeral LRU segment: lru.next is the shard's oldest entry. Entries
 	// carry a stamp from the backend's global LRU clock so cross-shard
 	// victim selection can find the node-wide oldest page.
@@ -79,6 +85,85 @@ func (sh *shard) lookup(key Key) *entry {
 		return nil
 	}
 	return obj[key.Index]
+}
+
+// --- lower-tier page tracking ---
+
+// remoteOf returns the tier index tracked for key, or -1. Caller holds mu.
+func (sh *shard) remoteOf(key Key) int {
+	if sh.remote == nil {
+		return -1
+	}
+	m, ok := sh.remote[objKey{key.Pool, key.Object}]
+	if !ok {
+		return -1
+	}
+	if ti, ok := m[key.Index]; ok {
+		return ti
+	}
+	return -1
+}
+
+// takeRemote removes and returns the tracked tier index for key (-1 when
+// absent). Caller holds mu.
+func (sh *shard) takeRemote(key Key) int {
+	if sh.remote == nil {
+		return -1
+	}
+	k := objKey{key.Pool, key.Object}
+	m, ok := sh.remote[k]
+	if !ok {
+		return -1
+	}
+	ti, ok := m[key.Index]
+	if !ok {
+		return -1
+	}
+	delete(m, key.Index)
+	if len(m) == 0 {
+		delete(sh.remote, k)
+	}
+	return ti
+}
+
+// noteRemoteIfFree records that key's live copy sits in tier ti — unless a
+// concurrent put landed the key locally between the caller's failed local
+// attempt and now, in which case it reports false and records nothing (the
+// caller then flushes its tier copy, keeping "local XOR tracked" intact).
+// Takes mu itself: it is called from the overflow path, after the local
+// attempt's critical section ended.
+func (sh *shard) noteRemoteIfFree(key Key, ti int) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.lookup(key) != nil {
+		return false
+	}
+	if sh.remote == nil {
+		sh.remote = make(map[objKey]map[PageIndex]int)
+	}
+	k := objKey{key.Pool, key.Object}
+	m := sh.remote[k]
+	if m == nil {
+		m = make(map[PageIndex]int)
+		sh.remote[k] = m
+	}
+	m[key.Index] = ti
+	return true
+}
+
+// remoteTier is remoteOf behind the lock (for callers outside a critical
+// section).
+func (sh *shard) remoteTier(key Key) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.remoteOf(key)
+}
+
+// dropRemote is takeRemote behind the lock.
+func (sh *shard) dropRemote(key Key) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.takeRemote(key)
 }
 
 // removeEntry unlinks e from the shard's object maps (but not the LRU;

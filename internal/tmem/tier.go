@@ -1,0 +1,375 @@
+package tmem
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smartmem/internal/mem"
+)
+
+// This file implements the tiered tmem hierarchy: the local lock-striped
+// store is tier 0, and Backend.AttachTier stacks further tiers below it.
+// The canonical tier 1 is RemoteTier — RAMster-style remote tmem, where a
+// node whose local pool is exhausted ships overflow pages to a peer node's
+// store instead of swapping to disk (Magenheimer's tmem/RAMster lineage,
+// paper §II). The final fallback remains the guest's virtual disk: a put
+// rejected by every tier returns E_TMEM and the guest swaps.
+//
+// Tier dispatch rules (see Backend.Put/Get/FlushPage/FlushObject):
+//
+//   - A put is offered to the tiers only after the local store rejects it
+//     with E_TMEM (over target or out of frames). The first tier accepting
+//     the page turns the guest-visible status back into S_TMEM.
+//   - Each shard tracks which of its keys live in a lower tier (under the
+//     existing stripe lock — the tier stack adds no new global locks), so
+//     gets and flushes only pay a tier round trip for keys that actually
+//     overflowed.
+//   - The local failure still shows up in the MemStats sample (puts_succ
+//     does not count tier-absorbed puts): policies keep seeing the pressure
+//     that caused the overflow. Remote tmem is a relief valve, not extra
+//     local capacity.
+
+// Tier is one level of the tmem page hierarchy below the local striped
+// store. Implementations must be safe for concurrent use; Status results
+// follow the hypervisor conventions (STmem success, ETmem "cannot serve",
+// EInval malformed).
+type Tier interface {
+	// Name identifies the tier in reports ("remote(n1)", "kvd:host").
+	Name() string
+	// Put offers an overflow page. kind is the owning pool's kind, which
+	// the tier mirrors on its backing store (a persistent page must stay
+	// retrievable until flushed; an ephemeral one may be dropped).
+	Put(key Key, kind PoolKind, data []byte) Status
+	// Get retrieves a page previously accepted by Put, copying it into dst
+	// (which may be nil). Ephemeral hits are destructive, mirroring the
+	// local store.
+	Get(key Key, dst []byte) Status
+	// FlushPage invalidates a single page.
+	FlushPage(key Key) Status
+	// FlushObject invalidates every page of an object, reporting how many
+	// pages the tier actually freed (an ephemeral-backed tier may hold
+	// fewer than the owner tracked). A negative count means the transport
+	// could not tell; callers fall back to their own tracking.
+	FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status)
+	// DropPool releases everything held for a local pool (pool destruction
+	// or VM shutdown).
+	DropPool(pool PoolID)
+	// Stats returns cumulative operation counters.
+	Stats() TierStats
+}
+
+// TierStats are a tier's cumulative operation counters.
+type TierStats struct {
+	Puts          uint64 // overflow puts offered
+	PutsOK        uint64 // overflow puts accepted
+	Gets          uint64 // gets forwarded
+	GetsHit       uint64 // gets served
+	PageFlushes   uint64 // page flushes forwarded
+	ObjectFlushes uint64 // object flushes forwarded
+	Errors        uint64 // transport errors (the tier disables itself)
+}
+
+// PageService is the put/get/flush surface a RemoteTier drives: the
+// key–value operations of the kvstore wire protocol, minus the transport.
+// Both kvstore.Client (a real net.Conn to a smartmem-kvd daemon) and
+// Loopback (a direct in-process call into a peer backend, the deterministic
+// simulator transport) satisfy it.
+//
+// Implementations must be safe for concurrent use when the owning backend
+// serves concurrent traffic: Loopback is (the peer backend is striped), a
+// bare kvstore.Client is NOT (one request/response wire) — wrap it in
+// kvstore.SyncClient, as smartmem-kvd's -remote mode does.
+type PageService interface {
+	NewPool(vm VMID, kind PoolKind) (PoolID, error)
+	Put(key Key, data []byte) (Status, error)
+	Get(key Key) (Status, []byte, error)
+	FlushPage(key Key) (Status, error)
+	FlushObject(pool PoolID, object ObjectID) (Status, error)
+	DestroyPool(pool PoolID) (Status, error)
+}
+
+// pageGetter is an optional PageService refinement: GetInto retrieves a
+// page directly into the caller's buffer (nil when only presence matters),
+// skipping the payload allocation Get implies. Loopback implements it, so
+// in-process remote gets move zero bytes on the meta stores the simulator
+// uses and copy once on data stores.
+type pageGetter interface {
+	GetInto(key Key, dst []byte) (Status, error)
+}
+
+// objectFlushCounter is an optional PageService refinement: FlushObjectCount
+// additionally reports how many pages the flush actually freed. Loopback,
+// kvstore.Client and kvstore.SyncClient all implement it (the wire protocol
+// carries the count in the response payload), keeping the owner's
+// pages-freed accounting exact even when the peer silently dropped
+// ephemeral pages beforehand.
+type objectFlushCounter interface {
+	FlushObjectCount(pool PoolID, object ObjectID) (mem.Pages, Status, error)
+}
+
+// RemoteTier ships overflow pages to a peer tmem store over a PageService.
+// Pages are stored on the peer under pools owned by a single "remote guest"
+// identity (owner), one peer pool per local pool, so the peer's accounting
+// and policies see the remote traffic as one more VM. A transport error
+// permanently disables the tier (counted in Stats().Errors): puts degrade
+// to the next tier or the guest's disk, exactly as if the peer vanished.
+type RemoteTier struct {
+	name  string
+	svc   PageService
+	owner VMID
+
+	// pools maps local pool id → peer pool id. The map is only touched on
+	// pool creation/destruction and on the overflow path — never by the
+	// local striped hot path.
+	mu    sync.RWMutex
+	pools map[PoolID]PoolID
+
+	down atomic.Bool
+
+	puts, putsOK, gets, getsHit atomic.Uint64
+	pageFlushes, objectFlushes  atomic.Uint64
+	errors                      atomic.Uint64
+}
+
+// NewRemoteTier creates a tier shipping overflow pages to svc. owner is the
+// VM identity the peer accounts the remote pages under; give every source
+// node a distinct owner so a peer serving several nodes can tell their
+// footprints apart.
+func NewRemoteTier(name string, svc PageService, owner VMID) *RemoteTier {
+	if svc == nil {
+		panic("tmem: nil page service")
+	}
+	return &RemoteTier{name: name, svc: svc, owner: owner, pools: make(map[PoolID]PoolID)}
+}
+
+// Name implements Tier.
+func (r *RemoteTier) Name() string { return r.name }
+
+// Owner returns the VM identity remote pools are created under.
+func (r *RemoteTier) Owner() VMID { return r.owner }
+
+// Stats implements Tier.
+func (r *RemoteTier) Stats() TierStats {
+	return TierStats{
+		Puts:          r.puts.Load(),
+		PutsOK:        r.putsOK.Load(),
+		Gets:          r.gets.Load(),
+		GetsHit:       r.getsHit.Load(),
+		PageFlushes:   r.pageFlushes.Load(),
+		ObjectFlushes: r.objectFlushes.Load(),
+		Errors:        r.errors.Load(),
+	}
+}
+
+// fail records a transport error and permanently disables the tier.
+func (r *RemoteTier) fail() Status {
+	r.errors.Add(1)
+	r.down.Store(true)
+	return ETmem
+}
+
+// peerPool resolves the peer pool backing a local pool, if one exists.
+func (r *RemoteTier) peerPool(local PoolID) (PoolID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pools[local]
+	return p, ok
+}
+
+// ensurePool resolves or creates the peer pool backing a local pool.
+func (r *RemoteTier) ensurePool(local PoolID, kind PoolKind) (PoolID, bool) {
+	if p, ok := r.peerPool(local); ok {
+		return p, true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.pools[local]; ok {
+		return p, true
+	}
+	p, err := r.svc.NewPool(r.owner, kind)
+	if err != nil {
+		r.fail()
+		return InvalidPool, false
+	}
+	r.pools[local] = p
+	return p, true
+}
+
+// Put implements Tier.
+func (r *RemoteTier) Put(key Key, kind PoolKind, data []byte) Status {
+	if r.down.Load() {
+		return ETmem
+	}
+	r.puts.Add(1)
+	rp, ok := r.ensurePool(key.Pool, kind)
+	if !ok {
+		return ETmem
+	}
+	st, err := r.svc.Put(Key{Pool: rp, Object: key.Object, Index: key.Index}, data)
+	if err != nil {
+		return r.fail()
+	}
+	if st == STmem {
+		r.putsOK.Add(1)
+	}
+	return st
+}
+
+// Get implements Tier.
+func (r *RemoteTier) Get(key Key, dst []byte) Status {
+	if r.down.Load() {
+		return ETmem
+	}
+	rp, ok := r.peerPool(key.Pool)
+	if !ok {
+		return ETmem
+	}
+	r.gets.Add(1)
+	rkey := Key{Pool: rp, Object: key.Object, Index: key.Index}
+	var st Status
+	var err error
+	if g, ok := r.svc.(pageGetter); ok {
+		st, err = g.GetInto(rkey, dst)
+	} else {
+		var payload []byte
+		st, payload, err = r.svc.Get(rkey)
+		if err == nil && st == STmem && dst != nil {
+			copy(dst, payload)
+		}
+	}
+	if err != nil {
+		return r.fail()
+	}
+	if st == STmem {
+		r.getsHit.Add(1)
+	}
+	return st
+}
+
+// FlushPage implements Tier.
+func (r *RemoteTier) FlushPage(key Key) Status {
+	if r.down.Load() {
+		return ETmem
+	}
+	rp, ok := r.peerPool(key.Pool)
+	if !ok {
+		return ETmem
+	}
+	r.pageFlushes.Add(1)
+	st, err := r.svc.FlushPage(Key{Pool: rp, Object: key.Object, Index: key.Index})
+	if err != nil {
+		return r.fail()
+	}
+	return st
+}
+
+// FlushObject implements Tier.
+func (r *RemoteTier) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) {
+	if r.down.Load() {
+		return 0, ETmem
+	}
+	rp, ok := r.peerPool(pool)
+	if !ok {
+		return 0, ETmem
+	}
+	r.objectFlushes.Add(1)
+	if c, ok := r.svc.(objectFlushCounter); ok {
+		n, st, err := c.FlushObjectCount(rp, object)
+		if err != nil {
+			return 0, r.fail()
+		}
+		return n, st
+	}
+	st, err := r.svc.FlushObject(rp, object)
+	if err != nil {
+		return 0, r.fail()
+	}
+	return -1, st // freed count unknown on this transport
+}
+
+// DropPool implements Tier.
+func (r *RemoteTier) DropPool(pool PoolID) {
+	r.mu.Lock()
+	rp, ok := r.pools[pool]
+	delete(r.pools, pool)
+	r.mu.Unlock()
+	if !ok || r.down.Load() {
+		return
+	}
+	if _, err := r.svc.DestroyPool(rp); err != nil {
+		r.fail()
+	}
+}
+
+// Loopback adapts a peer backend's local store to PageService for
+// in-process clusters: every operation is a direct, synchronous call into
+// the peer's striped store, which keeps the simulator deterministic. It
+// deliberately bypasses the peer's own tier stack (the ...Local methods),
+// so mutually-wired nodes cannot bounce one overflow page back and forth.
+type Loopback struct{ b *Backend }
+
+// NewLoopback wraps a peer backend.
+func NewLoopback(b *Backend) *Loopback {
+	if b == nil {
+		panic("tmem: nil backend")
+	}
+	return &Loopback{b: b}
+}
+
+// NewPool implements PageService.
+func (l *Loopback) NewPool(vm VMID, kind PoolKind) (PoolID, error) {
+	return l.b.NewPool(vm, kind), nil
+}
+
+// Put implements PageService.
+func (l *Loopback) Put(key Key, data []byte) (Status, error) {
+	return l.b.PutLocal(key, data), nil
+}
+
+// Get implements PageService, materializing the page payload.
+func (l *Loopback) Get(key Key) (Status, []byte, error) {
+	buf := make([]byte, l.b.PageSize())
+	st := l.b.GetLocal(key, buf)
+	if st != STmem {
+		return st, nil, nil
+	}
+	return st, buf, nil
+}
+
+// GetInto implements pageGetter: the caller's buffer goes straight to the
+// peer's store, so a nil dst (presence-only, the simulator's meta-store
+// path) moves zero bytes and a data-store cluster still gets real contents.
+func (l *Loopback) GetInto(key Key, dst []byte) (Status, error) {
+	return l.b.GetLocal(key, dst), nil
+}
+
+// FlushPage implements PageService.
+func (l *Loopback) FlushPage(key Key) (Status, error) {
+	return l.b.FlushPageLocal(key), nil
+}
+
+// FlushObject implements PageService.
+func (l *Loopback) FlushObject(pool PoolID, object ObjectID) (Status, error) {
+	_, st := l.b.FlushObjectLocal(pool, object)
+	return st, nil
+}
+
+// FlushObjectCount implements objectFlushCounter.
+func (l *Loopback) FlushObjectCount(pool PoolID, object ObjectID) (mem.Pages, Status, error) {
+	n, st := l.b.FlushObjectLocal(pool, object)
+	return n, st, nil
+}
+
+// DestroyPool implements PageService.
+func (l *Loopback) DestroyPool(pool PoolID) (Status, error) {
+	if err := l.b.DestroyPool(pool); err != nil {
+		return EInval, nil
+	}
+	return STmem, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Tier        = (*RemoteTier)(nil)
+	_ PageService = (*Loopback)(nil)
+)

@@ -63,11 +63,13 @@ type clockSetter interface{ SetClock(func() time.Time) }
 // Run. A Session replaces the fire-and-forget Run(Config) call when the
 // caller wants to observe or steer the run while it executes.
 type Session struct {
-	cfg   Config
-	ctx   context.Context
-	obs   []Observer
-	sinks []Sink
-	clock func() time.Time
+	cfg      Config
+	cluster  *core.ClusterConfig // non-nil: the run is a multi-node cluster
+	clusterN int                 // WithCluster request, resolved at construction
+	ctx      context.Context
+	obs      []Observer
+	sinks    []Sink
+	clock    func() time.Time
 
 	mu      sync.Mutex
 	started bool
@@ -109,6 +111,25 @@ func WithSink(sink Sink) SessionOption {
 	}
 }
 
+// WithCluster lifts the session into an n-node cluster: the configuration
+// is replicated onto n nodes sharing one simulated clock, wired
+// peer-to-peer so each node's remote tmem tier lands in the next node's
+// store (RAMster-style overflow; see core.ClusterConfig). Events arrive
+// tagged with a node id ("n0", "n1", ...) and VM names carry node prefixes.
+// Values below 2 leave the session single-node. The replicated policy value
+// is shared across nodes — the paper's policies are stateless values, so
+// each node's MM still deliberates independently. Configs with OnMilestone
+// set are rejected at construction (the callback's VM names are node-local
+// and would conflate nodes); coordinated clusters build per-node configs
+// and use NewClusterSession.
+func WithCluster(n int) SessionOption {
+	return func(s *Session) {
+		if n > 1 {
+			s.clusterN = n
+		}
+	}
+}
+
 // WithClock overrides the wall-clock used to timestamp exported records
 // (sinks only stamp wall time when a clock is set — virtual time is always
 // present). Tests inject a fixed clock for reproducible artifacts.
@@ -131,18 +152,70 @@ func NewSession(cfg Config, opts ...SessionOption) (*Session, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.clock != nil {
-		for _, sink := range s.sinks {
-			if cs, ok := sink.(clockSetter); ok {
-				cs.SetClock(s.clock)
-			}
+	if s.clusterN > 1 {
+		// OnMilestone coordination state cannot be replicated safely: the
+		// callback receives node-local VM names, so one closure counting
+		// "VM1" would conflate every node's VM1 and fire its stop logic
+		// early. Coordinated clusters build per-node configs and go
+		// through NewClusterSession instead. (A shared Stop flag is fine:
+		// raising it is an explicit whole-cluster stop.)
+		if cfg.OnMilestone != nil {
+			return nil, errors.New("smartmem: WithCluster cannot replicate a config with OnMilestone set; build per-node configs and use NewClusterSession")
 		}
+		cc := core.ClusterConfig{RemoteTmem: true}
+		for i := 0; i < s.clusterN; i++ {
+			cc.Nodes = append(cc.Nodes, cfg)
+		}
+		if err := cc.Validate(); err != nil {
+			return nil, err
+		}
+		s.cluster = &cc
 	}
+	s.wireClock()
 	return s, nil
 }
 
-// Config returns the session's configuration as constructed.
+// NewClusterSession constructs a session over an explicit multi-node
+// configuration — heterogeneous clusters (per-node VM populations, tmem
+// capacities, policies) that WithCluster's replication cannot express. All
+// SessionOptions except WithCluster apply.
+func NewClusterSession(cc ClusterConfig, opts ...SessionOption) (*Session, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, err // includes the no-nodes case
+	}
+	s := &Session{cfg: cc.Nodes[0], cluster: &cc, ctx: context.Background()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.wireClock()
+	return s, nil
+}
+
+func (s *Session) wireClock() {
+	if s.clock == nil {
+		return
+	}
+	for _, sink := range s.sinks {
+		if cs, ok := sink.(clockSetter); ok {
+			cs.SetClock(s.clock)
+		}
+	}
+}
+
+// Config returns the session's configuration as constructed. For a cluster
+// session this is node 0's configuration; use Cluster for the full
+// multi-node view.
 func (s *Session) Config() Config { return s.cfg }
+
+// Cluster returns the session's multi-node configuration and true when the
+// session runs a cluster (NewClusterSession or WithCluster); a single-node
+// session returns a zero ClusterConfig and false.
+func (s *Session) Cluster() (ClusterConfig, bool) {
+	if s.cluster == nil {
+		return ClusterConfig{}, false
+	}
+	return *s.cluster, true
+}
 
 // Run executes the session to completion (or cancellation) and returns the
 // result. It may be called once; further calls return the stored outcome.
@@ -178,7 +251,13 @@ func (s *Session) Run() (*Result, error) {
 		}))
 	}
 
-	res, err := core.RunWith(s.ctx, s.cfg, core.MultiObserver(obs...))
+	var res *Result
+	var err error
+	if s.cluster != nil {
+		res, err = core.RunClusterWith(s.ctx, *s.cluster, core.MultiObserver(obs...))
+	} else {
+		res, err = core.RunWith(s.ctx, s.cfg, core.MultiObserver(obs...))
+	}
 
 	for _, sink := range s.sinks {
 		if cerr := sink.Close(res); cerr != nil {

@@ -36,18 +36,22 @@ func Encode(e smartmem.Event) map[string]any {
 	}
 	switch ev := e.(type) {
 	case smartmem.VMStarted:
+		addNode(m, ev.Node)
 		m["vm"] = ev.VM
 		m["id"] = int64(ev.ID)
 		m["workload"] = ev.Workload
 	case smartmem.Milestone:
+		addNode(m, ev.Node)
 		m["vm"] = ev.VM
 		m["label"] = ev.Label
 	case smartmem.RunCompleted:
+		addNode(m, ev.Node)
 		m["vm"] = ev.Record.VM
 		m["label"] = ev.Record.Label
 		m["start"] = round(ev.Record.Start.Seconds())
 		m["duration"] = round(ev.Record.Duration().Seconds())
 	case smartmem.SampleTick:
+		addNode(m, ev.Node)
 		m["seq"] = ev.Seq
 		m["free_tmem"] = int64(ev.Stats.FreeTmem)
 		m["total_tmem"] = int64(ev.Stats.TotalTmem)
@@ -62,6 +66,7 @@ func Encode(e smartmem.Event) map[string]any {
 		}
 		m["vms"] = vms
 	case smartmem.TargetUpdate:
+		addNode(m, ev.Node)
 		m["vm"] = ev.VM
 		m["id"] = int64(ev.ID)
 		m["target"] = encodeTarget(ev.Target)
@@ -69,6 +74,14 @@ func Encode(e smartmem.Event) map[string]any {
 		m["cancelled"] = ev.Cancelled
 	}
 	return m
+}
+
+// addNode tags cluster events with their node; single-node events carry no
+// tag, which keeps their encoding (and the historical goldens) unchanged.
+func addNode(m map[string]any, node string) {
+	if node != "" {
+		m["node"] = node
+	}
 }
 
 // vmName resolves a VM's display name from a SampleTick's name table,
@@ -153,6 +166,32 @@ func EncodeResult(r *smartmem.Result) map[string]any {
 		})
 	}
 	doc["vms"] = vms
+	if len(r.Nodes) > 0 {
+		nodes := make([]map[string]any, 0, len(r.Nodes))
+		for _, n := range r.Nodes {
+			nd := map[string]any{
+				"name":              n.Name,
+				"policy":            n.PolicyName,
+				"sample_ticks":      n.SampleTicks,
+				"mm_batches_sent":   n.MMBatchesSent,
+				"disk_ops":          n.DiskOps,
+				"disk_busy_seconds": round(n.DiskBusy.Seconds()),
+			}
+			if n.Remote != nil {
+				nd["remote_tier"] = map[string]any{
+					"puts":           n.Remote.Puts,
+					"puts_ok":        n.Remote.PutsOK,
+					"gets":           n.Remote.Gets,
+					"gets_hit":       n.Remote.GetsHit,
+					"page_flushes":   n.Remote.PageFlushes,
+					"object_flushes": n.Remote.ObjectFlushes,
+					"errors":         n.Remote.Errors,
+				}
+			}
+			nodes = append(nodes, nd)
+		}
+		doc["nodes"] = nodes
+	}
 	if r.Series != nil {
 		series := make([]map[string]any, 0)
 		for _, name := range r.Series.Names() {

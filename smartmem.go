@@ -91,11 +91,23 @@ const (
 // documentation.
 type Config = core.Config
 
+// ClusterConfig describes a multi-node run: one Config per node, all nodes
+// sharing one simulated clock, optionally wired peer-to-peer so each
+// node's remote tmem tier lands in the next node's store (RAMster-style
+// overflow). Run one with NewClusterSession, or replicate a single Config
+// across homogeneous nodes with NewSession(cfg, WithCluster(n)).
+type ClusterConfig = core.ClusterConfig
+
+// NodeResult summarizes one node of a cluster run, including its outbound
+// remote-tier traffic.
+type NodeResult = core.NodeResult
+
 // VMSpec describes one virtual machine of a run.
 type VMSpec = core.VMSpec
 
 // Result is the outcome of a node run: per-VM run records, statistics and
-// tmem time series.
+// tmem time series. Cluster runs merge all nodes into one Result (VM names
+// node-prefixed, counters summed) and break totals down in Result.Nodes.
 type Result = core.Result
 
 // RunRecord is one completed workload run measurement.
@@ -133,9 +145,21 @@ func Run(cfg Config) (*Result, error) {
 	return s.Run()
 }
 
-// ParsePolicy builds a policy from its command-line spec, e.g. "greedy",
-// "static-alloc", "reconf-static", "smart-alloc:P=0.75".
+// ParsePolicy builds a policy from its command-line spec, e.g. "no-tmem",
+// "greedy", "static-alloc", "reconf-static", "smart-alloc:P=0.75". Every
+// name in the policy registry resolves, including user registrations.
 func ParsePolicy(spec string) (Policy, error) { return policy.Parse(spec) }
+
+// PolicyInfo describes one registered policy family for listings.
+type PolicyInfo = policy.Entry
+
+// Policies lists every registered policy family: the paper's built-ins
+// first, then user registrations.
+func Policies() []PolicyInfo { return policy.All() }
+
+// RegisterPolicy adds a policy family to the registry, making its name
+// resolvable from ParsePolicy and the commands' -policy flags.
+func RegisterPolicy(e PolicyInfo) { policy.Register(e) }
 
 // Usemem returns the paper's usemem micro-benchmark with default
 // parameters (128 MiB steps up to 1 GiB, §IV).
