@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench profile report clean
+.PHONY: all build test race vet lint fmt bench bench-json profile report clean
 
 all: build lint test
 
@@ -27,14 +27,34 @@ fmt:
 
 # Quick engine benchmarks (one iteration each); the full figure benches
 # live in bench_test.go. The store/daemon concurrency benches compare the
-# striped hot path against the shards-1 (single-mutex) baseline, and the
+# striped hot path against the shards-1 (single-mutex) baseline, the
 # remote-tier bench shows overflow absorbed by a peer store instead of
-# failing to the disk-swap path.
+# failing to the disk-swap path (its -batch variants report transport
+# round-trips/op), and the sim kernel benches pin the zero-allocation
+# scheduling hot path. All benches run with -benchmem so allocation
+# regressions are visible in the output and in BENCH.json.
 bench:
-	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -run '^$$' .
-	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -run '^$$' ./internal/tmem
-	$(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -run '^$$' ./internal/tmem
-	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -run '^$$' ./internal/kvstore
+	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim
+	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
+	$(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
+	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore
+
+# Machine-readable benchmark snapshot: runs the same suite as `make bench`
+# and writes BENCH.json (the perf trajectory record; CI uploads it next to
+# the raw bench-out artifact).
+# No pipe into tee here: a failing bench must fail the target instead of
+# being masked by the pipe's exit status (POSIX sh has no pipefail).
+bench-json:
+	@tmp=$$(mktemp); \
+	{ $(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' . && \
+	  $(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim && \
+	  $(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
+	  $(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
+	  $(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore; } > "$$tmp" || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; \
+	cat "$$tmp"; \
+	$(GO) run ./cmd/smartmem-benchjson < "$$tmp" > BENCH.json && rm -f "$$tmp" && \
+	echo "wrote BENCH.json"
 
 # Profile a tier-stack-heavy run (kv-heavy hammers the striped store; swap
 # -scenario cluster-2 to profile the cluster runtime). Inspect with:

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: smartmem/internal/sim
+BenchmarkKernelPingPong 	45916718	        58.50 ns/op	      32 B/op	       1 allocs/op
+BenchmarkRemoteTier/remote-batch-4     	    2000	      4016 ns/op	         0.2181 round-trips/op
+PASS
+ok  	smartmem/internal/sim	8.057s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkKernelPingPong" || b0.Iterations != 45916718 {
+		t.Errorf("first record = %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 58.5 || b0.Metrics["allocs/op"] != 1 {
+		t.Errorf("metrics = %v", b0.Metrics)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkRemoteTier/remote-batch-4" || b1.Metrics["round-trips/op"] != 0.2181 {
+		t.Errorf("second record = %+v", b1)
+	}
+}
+
+func TestNonBenchLinesIgnored(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from non-bench input", len(rep.Benchmarks))
+	}
+}

@@ -6,9 +6,12 @@
 //
 // The served store is sharded (tmem.NewBackendOpts): keys hash across
 // -shards lock stripes so concurrent connections scale with cores instead
-// of serializing on one mutex. SIGINT/SIGTERM trigger a graceful stop:
-// accepting ends, in-flight connections drain (bounded by a timeout), and
-// the final store statistics are printed.
+// of serializing on one mutex. Requests may be pipelined, and the batch
+// frames (OpPutBatch/OpGetBatch) move whole runs of pages per round trip
+// — the server executes them through the backend's stripe-grouped batch
+// path, one lock acquisition per stripe per run. SIGINT/SIGTERM trigger a
+// graceful stop: accepting ends, in-flight connections drain (bounded by
+// a timeout), and the final store statistics are printed.
 //
 // A daemon may additionally chain a RAMster-style remote tmem tier with
 // -remote: overflow pages its local store rejects (out of frames) are
@@ -206,6 +209,35 @@ func runClient(addr string, demo bool) {
 	fatalIf(err)
 	fmt.Printf("get after flush -> %v (expected E_TMEM)\n", st)
 	if !ok || st != tmem.ETmem {
+		os.Exit(1)
+	}
+
+	// Batch frames: a run of pages in one round trip each way.
+	const run = 16
+	keys := make([]tmem.Key, run)
+	datas := make([][]byte, run)
+	sts := make([]tmem.Status, run)
+	for i := range keys {
+		keys[i] = tmem.Key{Pool: pool, Object: 43, Index: tmem.PageIndex(i)}
+		datas[i] = page
+	}
+	fatalIf(cl.PutBatch(keys, datas, sts))
+	landed := 0
+	for _, st := range sts {
+		if st == tmem.STmem {
+			landed++
+		}
+	}
+	fmt.Printf("put-batch %d pages -> %d stored (1 round trip)\n", run, landed)
+	fatalIf(cl.GetBatch(keys, nil, sts))
+	hits := 0
+	for _, st := range sts {
+		if st == tmem.STmem {
+			hits++
+		}
+	}
+	fmt.Printf("get-batch %d pages -> %d hits (1 round trip)\n", run, hits)
+	if landed != run || hits != run {
 		os.Exit(1)
 	}
 }

@@ -297,3 +297,105 @@ func TestChainedDaemonsRemoteTier(t *testing.T) {
 		t.Errorf("front daemon final stats lack tier line:\n%s", frontOut.String())
 	}
 }
+
+// Batch frames against the live daemon: concurrent clients ship runs
+// through OpPutBatch/OpGetBatch while others issue per-page ops on the
+// same pipelined server.
+func TestKVDaemonBatchFrames(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	backend := newBackend(1<<16, 4)
+	sigs := make(chan os.Signal, 1)
+	var out bytes.Buffer
+	served := make(chan error, 1)
+	go func() { served <- serveKV(l, backend, sigs, time.Second, &out) }()
+
+	const clients = 4
+	const run = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(vm tmem.VMID) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			cl := kvstore.NewClient(conn, pageSize)
+			defer cl.Close()
+			pool, err := cl.NewPool(vm, tmem.Persistent)
+			if err != nil {
+				errs <- err
+				return
+			}
+			keys := make([]tmem.Key, run)
+			datas := make([][]byte, run)
+			sts := make([]tmem.Status, run)
+			dsts := make([][]byte, run)
+			for j := range keys {
+				keys[j] = tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(j)}
+				datas[j] = bytes.Repeat([]byte{byte(vm)}, pageSize)
+				dsts[j] = make([]byte, pageSize)
+			}
+			for round := 0; round < 4; round++ {
+				if err := cl.PutBatch(keys, datas, sts); err != nil {
+					errs <- fmt.Errorf("vm %d put-batch: %v", vm, err)
+					return
+				}
+				for j, st := range sts {
+					if st != tmem.STmem {
+						errs <- fmt.Errorf("vm %d put-batch item %d: %v", vm, j, st)
+						return
+					}
+				}
+				if err := cl.GetBatch(keys, dsts, sts); err != nil {
+					errs <- fmt.Errorf("vm %d get-batch: %v", vm, err)
+					return
+				}
+				for j, st := range sts {
+					if st != tmem.STmem || dsts[j][0] != byte(vm) {
+						errs <- fmt.Errorf("vm %d get-batch item %d: %v (byte %d)", vm, j, st, dsts[j][0])
+						return
+					}
+				}
+				// Interleave a per-page op on the same pipelined conn.
+				if st, err := cl.FlushPage(keys[0]); err != nil || st != tmem.STmem {
+					errs <- fmt.Errorf("vm %d interleaved flush: %v, %v", vm, st, err)
+					return
+				}
+				if st, err := cl.Put(keys[0], datas[0]); err != nil || st != tmem.STmem {
+					errs <- fmt.Errorf("vm %d interleaved put: %v, %v", vm, st, err)
+					return
+				}
+			}
+		}(tmem.VMID(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := backend.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	for vm := 1; vm <= clients; vm++ {
+		if got := backend.UsedBy(tmem.VMID(vm)); got != run {
+			t.Errorf("vm %d holds %d pages, want %d", vm, got, run)
+		}
+	}
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveKV = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveKV did not return after SIGTERM")
+	}
+}

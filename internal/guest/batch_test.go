@@ -1,0 +1,268 @@
+package guest
+
+import (
+	"fmt"
+	"testing"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// The batched access spine (accessRun, fileTmemRun) must be observably
+// indistinguishable from the per-page Touch/touchFile loop it replaced:
+// same stats, same backend counters, same virtual end time, same yield
+// points. These differential tests drive the same access pattern through
+// both spines on identically seeded rigs and require exact equality —
+// the property the byte-identical goldens rest on.
+
+// accessPerPage is the pre-batching reference implementation of Access.
+func accessPerPage(k *Kernel, p *sim.Proc, first PageID, count, stride mem.Pages, write bool) {
+	pg := first
+	for i := mem.Pages(0); i < count; i++ {
+		k.Touch(p, pg, write)
+		pg += PageID(stride)
+	}
+}
+
+// readFilePerPage is the pre-batching reference implementation of ReadFile.
+func readFilePerPage(k *Kernel, p *sim.Proc, obj tmem.ObjectID, idx tmem.PageIndex, count mem.Pages) {
+	for i := mem.Pages(0); i < count; i++ {
+		k.touchFile(p, fileKey{obj, idx + tmem.PageIndex(i)})
+	}
+}
+
+// driver runs a workload against a fresh rig and reports everything
+// observable: guest stats, end time, and the backend's cumulative counts.
+func driveDiff(t *testing.T, tmemPages, ram mem.Pages, cleancache bool, nonExcl bool,
+	body func(k *Kernel, p *sim.Proc, perPage bool)) (perPage, batched string) {
+	t.Helper()
+	once := func(usePerPage bool) string {
+		r := newRig(tmemPages)
+		var g *Kernel
+		if nonExcl {
+			g = r.nonExclGuest(1, ram)
+		} else {
+			g = r.guest(1, ram, true, cleancache)
+		}
+		end := r.run(func(p *sim.Proc) { body(g, p, usePerPage) })
+		c, _ := r.be.Counts(1)
+		return fmt.Sprintf("end=%v stats=%+v counts=%+v free=%d resident=%d",
+			end, g.Stats(), c, r.be.FreePages(), g.Resident())
+	}
+	return once(true), once(false)
+}
+
+func TestAccessBatchedMatchesPerPage(t *testing.T) {
+	cases := []struct {
+		name     string
+		tmem     mem.Pages
+		ram      mem.Pages
+		nonExcl  bool
+		scenario func(k *Kernel, p *sim.Proc, perPage bool)
+	}{
+		{
+			// Working set twice RAM: every sweep refaults half the set
+			// through frontswap — long tmem-hit runs.
+			name: "frontswap-thrash-exclusive", tmem: 4096, ram: 128,
+			scenario: func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 6; pass++ {
+					if perPage {
+						accessPerPage(k, p, 0, 256, 1, pass%2 == 0)
+					} else {
+						k.Access(p, 0, 256, pass%2 == 0)
+					}
+				}
+			},
+		},
+		{
+			name: "frontswap-thrash-non-exclusive", tmem: 4096, ram: 128, nonExcl: true,
+			scenario: func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 6; pass++ {
+					// Read-only passes batch under non-exclusive gets;
+					// write passes exercise the fallback.
+					write := pass == 3
+					if perPage {
+						accessPerPage(k, p, 0, 300, 1, write)
+					} else {
+						k.Access(p, 0, 300, write)
+					}
+				}
+			},
+		},
+		{
+			// tmem smaller than the overflow: puts fail, pages go to disk,
+			// runs are broken by mixed inTmem/onDisk state.
+			name: "tmem-pressure-mixed-copies", tmem: 64, ram: 128,
+			scenario: func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 5; pass++ {
+					if perPage {
+						accessPerPage(k, p, 0, 320, 1, pass == 0)
+					} else {
+						k.Access(p, 0, 320, pass == 0)
+					}
+				}
+			},
+		},
+		{
+			// Strided refault stream: batching without adjacency.
+			name: "strided-refaults", tmem: 4096, ram: 100,
+			scenario: func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 5; pass++ {
+					if perPage {
+						accessPerPage(k, p, 0, 80, 7, false)
+					} else {
+						k.AccessStride(p, 0, 80, 7, false)
+					}
+				}
+			},
+		},
+		{
+			// Tiny RAM: runs bounded by free frames, evictions interleave.
+			name: "eviction-bounded-runs", tmem: 4096, ram: 10,
+			scenario: func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 4; pass++ {
+					if perPage {
+						accessPerPage(k, p, 0, 64, 1, false)
+					} else {
+						k.Access(p, 0, 64, false)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, got := driveDiff(t, tc.tmem, tc.ram, false, tc.nonExcl, tc.scenario)
+			if ref != got {
+				t.Errorf("batched spine diverged from per-page:\n per-page: %s\n  batched: %s", ref, got)
+			}
+		})
+	}
+}
+
+func TestReadFileBatchedMatchesPerPage(t *testing.T) {
+	cases := []struct {
+		name string
+		tmem mem.Pages
+		ram  mem.Pages
+	}{
+		// Large tmem: cleancache absorbs the whole file, pure hit runs.
+		{name: "cleancache-hits", tmem: 4096, ram: 96},
+		// Small tmem: ephemeral evictions produce mid-run misses, so the
+		// stop-on-miss path and the disk fallback interleave.
+		{name: "cleancache-misses", tmem: 48, ram: 96},
+		// Tiny RAM bounds runs by free frames.
+		{name: "tight-ram", tmem: 256, ram: 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scenario := func(k *Kernel, p *sim.Proc, perPage bool) {
+				for pass := 0; pass < 6; pass++ {
+					if perPage {
+						readFilePerPage(k, p, 7, 0, 240)
+					} else {
+						k.ReadFile(p, 7, 0, 240)
+					}
+					// Anonymous traffic in between churns the shared LRU.
+					if perPage {
+						accessPerPage(k, p, 0, 32, 1, true)
+					} else {
+						k.Access(p, 0, 32, true)
+					}
+				}
+			}
+			ref, got := driveDiff(t, tc.tmem, tc.ram, true, false, scenario)
+			if ref != got {
+				t.Errorf("batched spine diverged from per-page:\n per-page: %s\n  batched: %s", ref, got)
+			}
+		})
+	}
+}
+
+// TestAccessSteadyStateZeroAlloc pins the allocation budget of the full
+// guest→backend hot path: a warm refault loop (evict/put + refault/get
+// through the batched spine) must not allocate — pooled sim events, pooled
+// store entries, slab pages and reused scratch buffers all compose here.
+func TestAccessSteadyStateZeroAlloc(t *testing.T) {
+	r := newRig(4096)
+	g := r.guest(1, 64, true, false)
+	r.k.Spawn("w", func(p *sim.Proc) {
+		for {
+			g.Access(p, 0, 128, false) // WS 2x RAM: steady put/get churn
+		}
+	})
+	for i := 0; i < 256; i++ {
+		if !r.k.Step() {
+			t.Fatal("simulation drained")
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !r.k.Step() {
+			t.Fatal("simulation drained")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("guest access steady state = %v allocs/op, want 0", allocs)
+	}
+	r.k.KillAll()
+}
+
+// TestBatchRunsEngage pins that the batched paths actually take effect in
+// the states they were built for (evicted pages refaulted into free RAM):
+// a spine that silently always fell back to per-page would pass the
+// differential tests vacuously.
+func TestBatchRunsEngage(t *testing.T) {
+	r := newRig(4096)
+	g := r.guest(1, 128, true, false)
+	r.run(func(p *sim.Proc) {
+		g.Access(p, 0, 96, true)    // A resident
+		g.Access(p, 1000, 96, true) // B evicts A into frontswap
+		g.Free(p, 1000, 96)         // B freed: RAM headroom opens up
+		if free := g.UsablePages() - g.Resident(); free < 64 {
+			t.Fatalf("setup: only %d free frames", free)
+		}
+		n := g.anonTmemRun(p, 0, 96, 1, false)
+		if n < 2 {
+			t.Errorf("anonTmemRun served %d pages, want a real run", n)
+		}
+	})
+}
+
+func TestFileBatchRunsEngage(t *testing.T) {
+	r := newRig(4096)
+	g := r.guest(1, 128, true, true)
+	r.run(func(p *sim.Proc) {
+		g.ReadFile(p, 7, 0, 96)     // file resident
+		g.Access(p, 1000, 96, true) // anon pressure evicts file pages to cleancache
+		g.Free(p, 1000, 96)         // headroom opens up
+		n := g.fileTmemRun(p, 7, 0, 96)
+		if n < 2 {
+			t.Errorf("fileTmemRun served %d pages, want a real run", n)
+		}
+	})
+}
+
+// Refault-into-headroom is the state where batching engages; run it
+// differentially too.
+func TestAccessBatchedMatchesPerPageWithHeadroom(t *testing.T) {
+	scenario := func(k *Kernel, p *sim.Proc, perPage bool) {
+		acc := func(first PageID, count mem.Pages, write bool) {
+			if perPage {
+				accessPerPage(k, p, first, count, 1, write)
+			} else {
+				k.Access(p, first, count, write)
+			}
+		}
+		for pass := 0; pass < 4; pass++ {
+			acc(0, 96, true)
+			acc(1000, 96, true)
+			k.Free(p, 1000, 96)
+			acc(0, 96, false) // long frontswap-hit runs into free RAM
+		}
+	}
+	ref, got := driveDiff(t, 4096, 128, false, false, scenario)
+	if ref != got {
+		t.Errorf("batched spine diverged from per-page:\n per-page: %s\n  batched: %s", ref, got)
+	}
+}

@@ -17,7 +17,21 @@
 // carries the VM id and key.Object the pool kind; the response status
 // carries the new pool id, which is non-negative and therefore disjoint
 // from the negative error statuses), 6=destroy-pool (key.Pool carries the
-// pool id).
+// pool id), 7=put-batch, 8=get-batch.
+//
+// Batch frames (7, 8) ship a whole run of page operations in one request —
+// the store-level amortization RAMster-style remote tmem relies on: a
+// remote tier with a run of overflow pages pays one network round trip
+// instead of one per page. The 16-byte key field of the request header is
+// ignored; the payload carries the run:
+//
+//	put-batch request payload:  [4 count] count × ([16 key][4 len][len data])
+//	put-batch response payload: count × [1 status]
+//	get-batch request payload:  [4 count] count × [16 key]
+//	get-batch response payload: count × ([1 status][4 len][len data])
+//
+// Batch payloads may exceed the page size (up to MaxBatch items); all other
+// ops stay capped at one page.
 //
 // Requests are processed in order per connection but may be pipelined: the
 // server keeps reading while responses accumulate in a buffered writer
@@ -47,9 +61,22 @@ const (
 	OpFlushObject byte = 4
 	OpNewPool     byte = 5
 	OpDestroyPool byte = 6
+	OpPutBatch    byte = 7
+	OpGetBatch    byte = 8
 )
 
+// MaxBatch is the largest number of items one batch frame may carry.
+// Clients split longer runs transparently.
+const MaxBatch = 256
+
 const reqHeaderSize = 1 + 16 + 4
+const keyWireSize = 16
+
+// maxBatchPayload bounds an inbound batch frame: count word plus MaxBatch
+// maximal items.
+func maxBatchPayload(pageSize int) int {
+	return 4 + MaxBatch*(keyWireSize+4+pageSize)
+}
 
 // connBufSize sizes the per-connection buffered reader and writer; large
 // enough to hold several pipelined 4 KiB-page requests per syscall.
@@ -183,6 +210,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 	page := make([]byte, pageSize)
 	resp := make([]byte, 0, 5+pageSize)
 	var countBuf [8]byte
+	var scr batchScratch // batch frame working state, reused per conn
 	for {
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF {
@@ -195,10 +223,23 @@ func (s *Server) ServeConn(c net.Conn) error {
 			return err
 		}
 		n := binary.BigEndian.Uint32(hdr[17:21])
-		if int(n) > pageSize {
-			return fmt.Errorf("kvstore: payload %d exceeds page size %d", n, pageSize)
+		isBatch := hdr[0] == OpPutBatch || hdr[0] == OpGetBatch
+		limit := pageSize
+		if isBatch {
+			limit = maxBatchPayload(pageSize)
 		}
-		data := buf[:n]
+		if int(n) > limit {
+			return fmt.Errorf("kvstore: payload %d exceeds limit %d", n, limit)
+		}
+		var data []byte
+		if isBatch {
+			if cap(scr.buf) < int(n) {
+				scr.buf = make([]byte, n)
+			}
+			data = scr.buf[:n]
+		} else {
+			data = buf[:n]
+		}
 		if _, err := io.ReadFull(br, data); err != nil {
 			return err
 		}
@@ -232,6 +273,34 @@ func (s *Server) ServeConn(c net.Conn) error {
 			} else {
 				status = tmem.STmem
 			}
+		case OpPutBatch:
+			if err := scr.parsePutBatch(data, pageSize); err != nil {
+				return err
+			}
+			s.backend.PutBatch(scr.keys, scr.datas, scr.sts)
+			status = tmem.STmem
+			scr.resp = scr.resp[:0]
+			for _, st := range scr.sts {
+				scr.resp = append(scr.resp, byte(int8(st)))
+			}
+			payload = scr.resp
+		case OpGetBatch:
+			if err := scr.parseGetBatch(data, pageSize); err != nil {
+				return err
+			}
+			s.backend.GetBatch(scr.keys, scr.dsts, scr.sts)
+			status = tmem.STmem
+			scr.resp = scr.resp[:0]
+			for i, st := range scr.sts {
+				scr.resp = append(scr.resp, byte(int8(st)))
+				if st == tmem.STmem {
+					scr.resp = binary.BigEndian.AppendUint32(scr.resp, uint32(pageSize))
+					scr.resp = append(scr.resp, scr.dsts[i]...)
+				} else {
+					scr.resp = binary.BigEndian.AppendUint32(scr.resp, 0)
+				}
+			}
+			payload = scr.resp
 		default:
 			return fmt.Errorf("kvstore: unknown op %d", hdr[0])
 		}
@@ -253,11 +322,104 @@ func (s *Server) ServeConn(c net.Conn) error {
 	}
 }
 
+// batchScratch is the per-connection working state of the batch frames:
+// the inbound frame buffer, the decoded key/payload views into it, the
+// per-item status slice, one slab backing all get destinations, and the
+// response under assembly. Everything is reused across requests.
+type batchScratch struct {
+	buf   []byte
+	keys  []tmem.Key
+	datas [][]byte
+	dsts  [][]byte
+	sts   []tmem.Status
+	slab  []byte
+	resp  []byte
+}
+
+// reset sizes the per-item slices for a run of n items.
+func (sc *batchScratch) reset(n int) {
+	if cap(sc.keys) < n {
+		sc.keys = make([]tmem.Key, n)
+		sc.datas = make([][]byte, n)
+		sc.dsts = make([][]byte, n)
+		sc.sts = make([]tmem.Status, n)
+	}
+	sc.keys = sc.keys[:n]
+	sc.datas = sc.datas[:n]
+	sc.dsts = sc.dsts[:n]
+	sc.sts = sc.sts[:n]
+}
+
+// parsePutBatch decodes a put-batch payload; datas alias the frame buffer
+// (the backend copies page contents before returning).
+func (sc *batchScratch) parsePutBatch(data []byte, pageSize int) error {
+	if len(data) < 4 {
+		return fmt.Errorf("kvstore: put-batch frame too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[:4]))
+	if n > MaxBatch {
+		return fmt.Errorf("kvstore: put-batch count %d exceeds %d", n, MaxBatch)
+	}
+	sc.reset(n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if len(data) < off+keyWireSize+4 {
+			return fmt.Errorf("kvstore: put-batch frame truncated at item %d", i)
+		}
+		k, err := tmem.KeyFromWire(data[off : off+keyWireSize])
+		if err != nil {
+			return err
+		}
+		off += keyWireSize
+		dlen := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += 4
+		if dlen > pageSize {
+			return fmt.Errorf("kvstore: put-batch item %d payload %d exceeds page size", i, dlen)
+		}
+		if len(data) < off+dlen {
+			return fmt.Errorf("kvstore: put-batch frame truncated at item %d data", i)
+		}
+		sc.keys[i] = k
+		sc.datas[i] = data[off : off+dlen]
+		off += dlen
+	}
+	return nil
+}
+
+// parseGetBatch decodes a get-batch payload and carves per-item
+// destination buffers out of the shared slab.
+func (sc *batchScratch) parseGetBatch(data []byte, pageSize int) error {
+	if len(data) < 4 {
+		return fmt.Errorf("kvstore: get-batch frame too short")
+	}
+	n := int(binary.BigEndian.Uint32(data[:4]))
+	if n > MaxBatch {
+		return fmt.Errorf("kvstore: get-batch count %d exceeds %d", n, MaxBatch)
+	}
+	if len(data) != 4+n*keyWireSize {
+		return fmt.Errorf("kvstore: get-batch frame length %d, want %d", len(data), 4+n*keyWireSize)
+	}
+	sc.reset(n)
+	if cap(sc.slab) < n*pageSize {
+		sc.slab = make([]byte, n*pageSize)
+	}
+	for i := 0; i < n; i++ {
+		k, err := tmem.KeyFromWire(data[4+i*keyWireSize : 4+(i+1)*keyWireSize])
+		if err != nil {
+			return err
+		}
+		sc.keys[i] = k
+		sc.dsts[i] = sc.slab[i*pageSize : (i+1)*pageSize]
+	}
+	return nil
+}
+
 // Client speaks the KV protocol over an established connection. Not safe
 // for concurrent use (the protocol is strict request/response).
 type Client struct {
 	c        net.Conn
 	pageSize int
+	bbuf     []byte // reusable batch frame buffer
 }
 
 // NewClient wraps a connection; pageSize must match the server's backend.
@@ -357,6 +519,146 @@ func (cl *Client) DestroyPool(pool tmem.PoolID) (tmem.Status, error) {
 	return st, err
 }
 
+// PutBatch stores a run of pages in one wire round trip per MaxBatch
+// chunk: one request frame carries every key and payload, one response
+// frame carries every status. datas may be nil (all zero pages) or hold
+// one payload per key; sts receives one status per key.
+func (cl *Client) PutBatch(keys []tmem.Key, datas [][]byte, sts []tmem.Status) error {
+	if len(sts) != len(keys) || (datas != nil && len(datas) != len(keys)) {
+		return fmt.Errorf("kvstore: batch slice length mismatch")
+	}
+	for start := 0; start < len(keys); start += MaxBatch {
+		end := min(start+MaxBatch, len(keys))
+		var chunk [][]byte
+		if datas != nil {
+			chunk = datas[start:end]
+		}
+		if err := cl.putBatchChunk(keys[start:end], chunk, sts[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cl *Client) putBatchChunk(keys []tmem.Key, datas [][]byte, sts []tmem.Status) error {
+	req := cl.bbuf[:0]
+	req = append(req, OpPutBatch)
+	req = append(req, make([]byte, keyWireSize)...) // header key unused
+	lenAt := len(req)
+	req = append(req, 0, 0, 0, 0)
+	req = binary.BigEndian.AppendUint32(req, uint32(len(keys)))
+	for i, k := range keys {
+		var d []byte
+		if datas != nil {
+			d = datas[i]
+		}
+		if len(d) > cl.pageSize {
+			return fmt.Errorf("kvstore: batch payload %d exceeds page size %d", len(d), cl.pageSize)
+		}
+		req = k.AppendWire(req)
+		req = binary.BigEndian.AppendUint32(req, uint32(len(d)))
+		req = append(req, d...)
+	}
+	binary.BigEndian.PutUint32(req[lenAt:], uint32(len(req)-reqHeaderSize))
+	cl.bbuf = req
+	if _, err := cl.c.Write(req); err != nil {
+		return err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(cl.c, hdr[:]); err != nil {
+		return err
+	}
+	if st := tmem.Status(int8(hdr[0])); st != tmem.STmem {
+		return fmt.Errorf("kvstore: put-batch rejected: %v", st)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if n != len(keys) {
+		return fmt.Errorf("kvstore: put-batch response carries %d statuses, want %d", n, len(keys))
+	}
+	resp := cl.bbuf[:0]
+	if cap(resp) < n {
+		resp = make([]byte, n)
+	}
+	resp = resp[:n]
+	if _, err := io.ReadFull(cl.c, resp); err != nil {
+		return err
+	}
+	for i, b := range resp {
+		sts[i] = tmem.Status(int8(b))
+	}
+	return nil
+}
+
+// GetBatch retrieves a run of pages in one wire round trip per MaxBatch
+// chunk. dsts may be nil (presence only) or hold per-key buffers; nil
+// entries skip the copy. sts receives one status per key.
+func (cl *Client) GetBatch(keys []tmem.Key, dsts [][]byte, sts []tmem.Status) error {
+	if len(sts) != len(keys) || (dsts != nil && len(dsts) != len(keys)) {
+		return fmt.Errorf("kvstore: batch slice length mismatch")
+	}
+	for start := 0; start < len(keys); start += MaxBatch {
+		end := min(start+MaxBatch, len(keys))
+		var chunk [][]byte
+		if dsts != nil {
+			chunk = dsts[start:end]
+		}
+		if err := cl.getBatchChunk(keys[start:end], chunk, sts[start:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cl *Client) getBatchChunk(keys []tmem.Key, dsts [][]byte, sts []tmem.Status) error {
+	req := cl.bbuf[:0]
+	req = append(req, OpGetBatch)
+	req = append(req, make([]byte, keyWireSize)...)
+	req = binary.BigEndian.AppendUint32(req, uint32(4+len(keys)*keyWireSize))
+	req = binary.BigEndian.AppendUint32(req, uint32(len(keys)))
+	for _, k := range keys {
+		req = k.AppendWire(req)
+	}
+	cl.bbuf = req
+	if _, err := cl.c.Write(req); err != nil {
+		return err
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(cl.c, hdr[:]); err != nil {
+		return err
+	}
+	if st := tmem.Status(int8(hdr[0])); st != tmem.STmem {
+		return fmt.Errorf("kvstore: get-batch rejected: %v", st)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:5]))
+	if maxResp := len(keys) * (5 + cl.pageSize); n > maxResp {
+		return fmt.Errorf("kvstore: get-batch response %d exceeds maximum %d", n, maxResp)
+	}
+	if cap(cl.bbuf) < n {
+		cl.bbuf = make([]byte, n)
+	}
+	resp := cl.bbuf[:n]
+	if _, err := io.ReadFull(cl.c, resp); err != nil {
+		return err
+	}
+	off := 0
+	for i := range keys {
+		if len(resp) < off+5 {
+			return fmt.Errorf("kvstore: get-batch response truncated at item %d", i)
+		}
+		sts[i] = tmem.Status(int8(resp[off]))
+		dlen := int(binary.BigEndian.Uint32(resp[off+1 : off+5]))
+		off += 5
+		if dlen > cl.pageSize || len(resp) < off+dlen {
+			return fmt.Errorf("kvstore: get-batch response malformed at item %d", i)
+		}
+		if sts[i] == tmem.STmem && dsts != nil && dsts[i] != nil {
+			copy(dsts[i], resp[off:off+dlen])
+		}
+		off += dlen
+	}
+	return nil
+}
+
 // Client implements tmem.PageService: a RemoteTier pointed at a Client
 // ships its overflow pages to a smartmem-kvd daemon over the wire —
 // RAMster-style remote tmem between real processes. A bare Client is not
@@ -433,4 +735,23 @@ func (s *SyncClient) DestroyPool(pool tmem.PoolID) (tmem.Status, error) {
 	return s.cl.DestroyPool(pool)
 }
 
-var _ tmem.PageService = (*SyncClient)(nil)
+// PutBatch implements tmem.BatchPageService: the whole run crosses the
+// wire in one round trip (per MaxBatch chunk) under one lock acquisition.
+func (s *SyncClient) PutBatch(keys []tmem.Key, datas [][]byte, sts []tmem.Status) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.PutBatch(keys, datas, sts)
+}
+
+// GetBatch implements tmem.BatchPageService.
+func (s *SyncClient) GetBatch(keys []tmem.Key, dsts [][]byte, sts []tmem.Status) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cl.GetBatch(keys, dsts, sts)
+}
+
+var (
+	_ tmem.PageService      = (*SyncClient)(nil)
+	_ tmem.BatchPageService = (*Client)(nil)
+	_ tmem.BatchPageService = (*SyncClient)(nil)
+)

@@ -247,3 +247,146 @@ func TestRemoteTierOverWire(t *testing.T) {
 		t.Errorf("peer still holds %d pages after front VM shutdown", got)
 	}
 }
+
+func TestBatchOpsOverWire(t *testing.T) {
+	cl, _ := pipeRig(t, 1024)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	keys := make([]tmem.Key, n)
+	datas := make([][]byte, n)
+	sts := make([]tmem.Status, n)
+	for i := range keys {
+		keys[i] = tmem.Key{Pool: pool, Object: tmem.ObjectID(i >> 3), Index: tmem.PageIndex(i)}
+		datas[i] = page(byte(i + 1))
+	}
+	if err := cl.PutBatch(keys, datas, sts); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range sts {
+		if st != tmem.STmem {
+			t.Fatalf("batch put %d = %v", i, st)
+		}
+	}
+	dsts := make([][]byte, n)
+	for i := range dsts {
+		dsts[i] = make([]byte, pageSize)
+	}
+	if err := cl.GetBatch(keys, dsts, sts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if sts[i] != tmem.STmem {
+			t.Fatalf("batch get %d = %v", i, sts[i])
+		}
+		if !bytes.Equal(dsts[i], datas[i]) {
+			t.Fatalf("batch page %d corrupted over the wire", i)
+		}
+	}
+	// Mixed hits and misses: flush half, get everything.
+	for i := 0; i < n; i += 2 {
+		if st, err := cl.FlushPage(keys[i]); err != nil || st != tmem.STmem {
+			t.Fatalf("flush %d = %v, %v", i, st, err)
+		}
+	}
+	if err := cl.GetBatch(keys, dsts, sts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		want := tmem.STmem
+		if i%2 == 0 {
+			want = tmem.ETmem
+		}
+		if sts[i] != want {
+			t.Fatalf("after flush, batch get %d = %v, want %v", i, sts[i], want)
+		}
+	}
+}
+
+// Batch frames longer than MaxBatch must be split transparently.
+func TestBatchSplitsLongRuns(t *testing.T) {
+	cl, _ := pipeRig(t, 2*MaxBatch+64)
+	pool, err := cl.NewPool(1, tmem.Persistent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2*MaxBatch + 17
+	keys := make([]tmem.Key, n)
+	sts := make([]tmem.Status, n)
+	for i := range keys {
+		keys[i] = tmem.Key{Pool: pool, Object: 1, Index: tmem.PageIndex(i)}
+	}
+	if err := cl.PutBatch(keys, nil, sts); err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, st := range sts {
+		if st == tmem.STmem {
+			ok++
+		}
+	}
+	if ok != n {
+		t.Errorf("batch landed %d pages, want all %d (backend has capacity for them)", ok, n)
+	}
+	if err := cl.GetBatch(keys, nil, sts); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, st := range sts {
+		if st == tmem.STmem {
+			hits++
+		}
+	}
+	if hits != ok {
+		t.Errorf("batch get hit %d pages, want %d", hits, ok)
+	}
+}
+
+// A RemoteTier driving a SyncClient over the wire must ship overflow runs
+// as batch frames end to end (node -> wire -> kvd backend).
+func TestRemoteTierBatchOverWire(t *testing.T) {
+	peer := tmem.NewBackend(1<<16, tmem.NewDataStore(pageSize))
+	srv := NewServer(peer)
+	a, b := net.Pipe()
+	go func() { _ = srv.ServeConn(b) }()
+	cl := NewClient(a, pageSize)
+	defer cl.Close()
+
+	local := tmem.NewBackend(8, tmem.NewDataStore(pageSize))
+	local.AttachTier(tmem.NewRemoteTier("kvd", NewSyncClient(cl), 77))
+	pool := local.NewPool(1, tmem.Persistent)
+
+	const n = 32
+	keys := make([]tmem.Key, n)
+	datas := make([][]byte, n)
+	sts := make([]tmem.Status, n)
+	for i := range keys {
+		keys[i] = tmem.Key{Pool: pool, Object: 5, Index: tmem.PageIndex(i)}
+		datas[i] = page(byte(i + 1))
+	}
+	local.PutBatch(keys, datas, sts)
+	for i, st := range sts {
+		if st != tmem.STmem {
+			t.Fatalf("put %d = %v", i, st)
+		}
+	}
+	if got := peer.UsedBy(77); got != n-8 {
+		t.Fatalf("kvd absorbed %d pages, want %d", got, n-8)
+	}
+	// Overflowed pages read back correctly through the batched get path.
+	dsts := make([][]byte, n)
+	for i := range dsts {
+		dsts[i] = make([]byte, pageSize)
+	}
+	local.GetBatch(keys, dsts, sts)
+	for i := range keys {
+		if sts[i] != tmem.STmem {
+			t.Fatalf("get %d = %v", i, sts[i])
+		}
+		if !bytes.Equal(dsts[i], datas[i]) {
+			t.Fatalf("page %d corrupted through the remote tier", i)
+		}
+	}
+}

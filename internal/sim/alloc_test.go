@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// The kernel hot paths carry an explicit allocation budget (DESIGN.md §9):
+// once the event heap and waiter queues have grown to their steady-state
+// capacity, scheduling points must not allocate. These tests pin that
+// budget with testing.AllocsPerRun so a regression (a pointer-based event,
+// an interface boxing, a queue reslice that leaks capacity) fails loudly.
+
+// TestProcSleepZeroAlloc pins 0 allocs/op for the Proc.Sleep steady state:
+// schedule + dispatch + park, the scheduling point every simulated process
+// pays at every quantum.
+func TestProcSleepZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("sleeper", func(p *Proc) {
+		for {
+			p.Sleep(Microsecond)
+		}
+	})
+	// Warm up: first dispatches grow the event heap to capacity.
+	for i := 0; i < 64; i++ {
+		k.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !k.Step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Proc.Sleep steady state = %v allocs/op, want 0", allocs)
+	}
+	k.KillAll()
+}
+
+// TestKernelTimerZeroAlloc pins 0 allocs/op for a self-rescheduling After
+// callback: the event heap must hold events by value, so a timer firing and
+// rescheduling costs no allocation once the closure exists.
+func TestKernelTimerZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	var tick func(Time)
+	tick = func(Time) { k.After(Microsecond, tick) }
+	k.After(Microsecond, tick)
+	for i := 0; i < 64; i++ {
+		k.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !k.Step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("timer steady state = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCondPingPongZeroAlloc pins 0 allocs/op for a steady Wait/Signal
+// cycle: the waiter queue must compact in place rather than reslice from
+// the front, or every Wait re-grows the backing array.
+func TestCondPingPongZeroAlloc(t *testing.T) {
+	k := NewKernel(1)
+	c1, c2 := NewCond(k), NewCond(k)
+	k.Spawn("b", func(p *Proc) {
+		for {
+			c2.Wait(p)
+			c1.Signal()
+		}
+	})
+	k.Spawn("a", func(p *Proc) {
+		for {
+			c2.Signal()
+			c1.Wait(p)
+		}
+	})
+	for i := 0; i < 64; i++ {
+		k.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !k.Step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cond ping-pong steady state = %v allocs/op, want 0", allocs)
+	}
+	k.KillAll()
+}

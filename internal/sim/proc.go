@@ -62,7 +62,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.schedule(&event{at: p.k.now + Time(d), proc: p})
+	p.k.scheduleProc(p.k.now+Time(d), p)
 	p.park()
 }
 
@@ -88,7 +88,7 @@ func (p *Proc) Kill() {
 	}
 	// Schedule an immediate wake; the next Step dispatches the goroutine,
 	// which observes cancellation in park() and unwinds.
-	p.k.schedule(&event{at: p.k.now, proc: p})
+	p.k.scheduleProc(p.k.now, p)
 }
 
 // Cond is a simple FIFO condition variable for processes. Waiters park
@@ -113,40 +113,58 @@ func (c *Cond) Wait(p *Proc) {
 }
 
 // Signal wakes the longest-waiting process, if any. Safe to call from
-// kernel callbacks or other processes.
+// kernel callbacks or other processes. The waiter queue is compacted in
+// place (never resliced from the front), so a steady Wait/Signal cycle
+// reuses one backing array and allocates nothing.
 func (c *Cond) Signal() {
 	for len(c.waiters) > 0 {
 		p := c.waiters[0]
-		c.waiters = c.waiters[1:]
+		c.popFront()
 		if p.finished || p.cancelled {
 			continue
 		}
 		p.waiting = nil
-		c.k.schedule(&event{at: c.k.now, proc: p})
+		c.k.scheduleProc(c.k.now, p)
 		return
 	}
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
+	// Exactly one goroutine runs at a time in the simulation, and woken
+	// processes only resume at a later dispatch, so nothing can append to
+	// the queue while this loop drains it — truncating up front keeps the
+	// backing array for reuse.
 	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
+	c.waiters = c.waiters[:0]
+	for i, p := range ws {
+		ws[i] = nil
 		if p.finished || p.cancelled {
 			continue
 		}
 		p.waiting = nil
-		c.k.schedule(&event{at: c.k.now, proc: p})
+		c.k.scheduleProc(c.k.now, p)
 	}
 }
 
 // Waiters returns the number of parked processes.
 func (c *Cond) Waiters() int { return len(c.waiters) }
 
+// popFront removes the head waiter, shifting the queue down in place.
+func (c *Cond) popFront() {
+	n := len(c.waiters)
+	copy(c.waiters, c.waiters[1:])
+	c.waiters[n-1] = nil
+	c.waiters = c.waiters[:n-1]
+}
+
 func (c *Cond) remove(p *Proc) {
 	for i, w := range c.waiters {
 		if w == p {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			n := len(c.waiters)
+			copy(c.waiters[i:], c.waiters[i+1:])
+			c.waiters[n-1] = nil
+			c.waiters = c.waiters[:n-1]
 			return
 		}
 	}

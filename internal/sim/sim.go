@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -54,7 +53,11 @@ func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled wake-up of a process or a fire-once callback.
+// event is a scheduled wake-up of a process or a fire-once callback. Events
+// are plain values held directly in the kernel's heap slice: scheduling one
+// performs no allocation and no interface boxing — the hot path of every
+// simulated nanosecond (see DESIGN.md §9, "Hot paths and allocation
+// budget").
 type event struct {
 	at   Time
 	seq  uint64
@@ -62,24 +65,68 @@ type event struct {
 	fn   func(Time) // non-nil: run this callback inline in the kernel loop
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether a orders before b: earlier time first, ties broken
+// by the monotonically increasing schedule sequence so order never depends
+// on heap internals.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventQueue is an index-based binary min-heap of event values. The
+// container/heap machinery is deliberately not used: it forces events
+// behind pointers and moves them through interface{} on every push and pop,
+// which costs one heap allocation per scheduling point. The hand-rolled
+// sift operations below work on the slice in place.
+type eventQueue []event
+
+// push inserts e, restoring the heap order by sifting up.
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(&s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = e
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() event {
+	s := *q
+	min := s[0]
+	last := len(s) - 1
+	e := s[last]
+	s[last] = event{} // release the proc/fn references
+	s = s[:last]
+	*q = s
+	if last > 0 {
+		// Sift e down from the root into the hole pop left.
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= last {
+				break
+			}
+			if r := child + 1; r < last && s[r].before(&s[child]) {
+				child = r
+			}
+			if !s[child].before(&e) {
+				break
+			}
+			s[i] = s[child]
+			i = child
+		}
+		s[i] = e
+	}
+	return min
 }
 
 // Kernel is a discrete-event simulation instance. The zero value is not
@@ -90,6 +137,7 @@ type Kernel struct {
 	queue   eventQueue
 	procs   map[int]*Proc
 	nextPID int
+	live    int   // unfinished processes (KillAll's drain condition)
 	running *Proc // process currently executing, nil while in kernel loop
 	ended   bool
 	limit   Time // hard stop; MaxTime when unset
@@ -127,23 +175,31 @@ func (k *Kernel) SetLimit(limit Time) {
 	}
 }
 
-// schedule inserts an event at absolute virtual time at.
-func (k *Kernel) schedule(e *event) {
-	if e.at < k.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: at=%d now=%d", e.at, k.now))
+// scheduleProc inserts a process wake-up at absolute virtual time at.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%d now=%d", at, k.now))
 	}
 	k.seq++
-	e.seq = k.seq
-	heap.Push(&k.queue, e)
+	k.queue.push(event{at: at, seq: k.seq, proc: p})
+}
+
+// scheduleFn inserts a callback firing at absolute virtual time at.
+func (k *Kernel) scheduleFn(at Time, fn func(Time)) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%d now=%d", at, k.now))
+	}
+	k.seq++
+	k.queue.push(event{at: at, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run at now+d inside the kernel loop (no process
-// context). fn receives the firing time.
+// context, no goroutine round-trip). fn receives the firing time.
 func (k *Kernel) After(d Duration, fn func(Time)) {
 	if d < 0 {
 		d = 0
 	}
-	k.schedule(&event{at: k.now + Time(d), fn: fn})
+	k.scheduleFn(k.now+Time(d), fn)
 }
 
 // At schedules fn at an absolute virtual time (clamped to now).
@@ -151,7 +207,7 @@ func (k *Kernel) At(t Time, fn func(Time)) {
 	if t < k.now {
 		t = k.now
 	}
-	k.schedule(&event{at: t, fn: fn})
+	k.scheduleFn(t, fn)
 }
 
 // Spawn creates a new process running body and schedules it to start at the
@@ -172,6 +228,7 @@ func (k *Kernel) SpawnAt(name string, d Duration, body func(p *Proc)) *Proc {
 		done: make(chan struct{}),
 	}
 	k.procs[p.id] = p
+	k.live++
 	go func() {
 		t, ok := <-p.wake // wait for first dispatch
 		if !ok {
@@ -191,7 +248,7 @@ func (k *Kernel) SpawnAt(name string, d Duration, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	k.schedule(&event{at: k.now + Time(d), proc: p})
+	k.scheduleProc(k.now+Time(d), p)
 	return p
 }
 
@@ -204,6 +261,12 @@ func (k *Kernel) dispatch(p *Proc, t Time) {
 	p.wake <- t
 	<-k.yield
 	k.running = nil
+	if p.finished {
+		// The goroutine unwound during this dispatch; retire it so KillAll's
+		// drain and Procs() never rescan dead entries.
+		k.live--
+		delete(k.procs, p.id)
+	}
 	if k.panicVal != nil {
 		panic(k.panicVal)
 	}
@@ -216,12 +279,12 @@ func (k *Kernel) Step() bool {
 		if len(k.queue) == 0 {
 			return false
 		}
-		e := heap.Pop(&k.queue).(*event)
-		if e.at > k.limit {
+		if k.queue[0].at > k.limit {
 			k.now = k.limit
 			k.ended = true
 			return false
 		}
+		e := k.queue.pop()
 		k.now = e.at
 		if e.proc != nil {
 			if e.proc.finished {
@@ -241,15 +304,42 @@ func (k *Kernel) Step() bool {
 
 // Run executes events until the queue drains, the limit is hit, or every
 // process has finished. It returns the final virtual time.
+//
+// The loop is a fast-path duplicate of Step: timer callbacks (After/At) and
+// same-time wake chains run back to back inside this single kernel frame —
+// a callback that schedules another callback never leaves the loop, and the
+// only goroutine round-trips taken are the dispatches that genuinely need a
+// process context.
 func (k *Kernel) Run() Time {
-	for k.Step() {
+	for len(k.queue) > 0 {
+		if k.queue[0].at > k.limit {
+			k.now = k.limit
+			k.ended = true
+			return k.now
+		}
+		e := k.queue.pop()
+		k.now = e.at
+		if e.fn != nil {
+			e.fn(e.at)
+			continue
+		}
+		if e.proc != nil && !e.proc.finished {
+			k.dispatch(e.proc, e.at)
+		}
 	}
 	return k.now
 }
 
-// RunUntil executes events until virtual time t (inclusive of events at t).
+// RunUntil executes events until virtual time t (inclusive of events at t)
+// and advances the clock to t even when the queue drains early. The hard
+// limit wins: past it the clock clamps to the limit and Ended reports true,
+// exactly as Run behaves.
 func (k *Kernel) RunUntil(t Time) Time {
 	for len(k.queue) > 0 && k.queue[0].at <= t && k.Step() {
+	}
+	if t > k.limit {
+		t = k.limit
+		k.ended = true
 	}
 	if k.now < t {
 		k.now = t
@@ -284,21 +374,15 @@ func (k *Kernel) KillAll() {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	live := 0
 	for _, id := range ids {
-		p := k.procs[id]
-		if !p.finished {
+		if p := k.procs[id]; p != nil && !p.finished {
 			p.Kill()
-			live++
 		}
 	}
-	// Drain the unwind dispatches so goroutines exit before we return.
-	for live > 0 && k.Step() {
-		live = 0
-		for _, p := range k.procs {
-			if !p.finished {
-				live++
-			}
-		}
+	// Drain the unwind dispatches so goroutines exit before we return. The
+	// kernel maintains a live counter decremented as each process finishes,
+	// so the drain is linear in the number of events rather than rescanning
+	// every process after every Step.
+	for k.live > 0 && k.Step() {
 	}
 }

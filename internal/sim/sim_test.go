@@ -520,3 +520,179 @@ func TestRNGIntnPanicsOnZero(t *testing.T) {
 	}()
 	NewRNG(1).Intn(0)
 }
+
+// --- Cond edge cases ---
+
+// A process killed while parked in Wait must be removed from the waiter
+// queue, and its pending signal consumption must not be lost: the next
+// Signal wakes the next FIFO waiter.
+func TestCondKillWhileWaitingRemovesWaiter(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	var woke []string
+	mk := func(name string) *Proc {
+		return k.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	first := mk("first")
+	mk("second")
+	mk("third")
+	k.After(Millisecond, func(Time) {
+		if c.Waiters() != 3 {
+			t.Errorf("waiters before kill = %d, want 3", c.Waiters())
+		}
+		first.Kill()
+		if c.Waiters() != 2 {
+			t.Errorf("waiters after kill = %d, want 2 (killed proc still queued)", c.Waiters())
+		}
+		c.Signal()
+	})
+	k.Run()
+	if len(woke) != 1 || woke[0] != "second" {
+		t.Errorf("woke = %v, want [second]: the signal must skip the killed head", woke)
+	}
+	if !first.Finished() {
+		t.Error("killed waiter did not unwind")
+	}
+	k.KillAll()
+}
+
+// Broadcast over a queue containing a killed waiter wakes everyone else.
+func TestCondBroadcastSkipsKilled(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	woke := 0
+	var victim *Proc
+	for i := 0; i < 4; i++ {
+		p := k.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+		if i == 2 {
+			victim = p
+		}
+	}
+	k.After(Millisecond, func(Time) {
+		victim.Kill()
+		c.Broadcast()
+	})
+	k.Run()
+	if woke != 3 {
+		t.Errorf("woke = %d, want 3 (killed waiter skipped)", woke)
+	}
+}
+
+// Signal consumed by a waiter that is killed after the signal was scheduled
+// but before dispatch: the wake-up must not resurrect the process.
+func TestCondSignalThenKillBeforeDispatch(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	ran := false
+	p := k.Spawn("w", func(p *Proc) {
+		c.Wait(p)
+		ran = true
+	})
+	k.After(Millisecond, func(Time) {
+		c.Signal() // schedules p's wake at now
+		p.Kill()   // cancels before the wake dispatches
+	})
+	k.Run()
+	if ran {
+		t.Error("killed process ran past Wait")
+	}
+	if !p.Finished() {
+		t.Error("killed process did not unwind")
+	}
+}
+
+// Wait on an already-cancelled process must unwind immediately and leave no
+// waiter behind.
+func TestCondWaitAfterKillUnwinds(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	cleaned := false
+	p := k.Spawn("w", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(2 * Millisecond) // killed during this sleep
+		c.Wait(p)                // must panic(errProcKilled), not park
+	})
+	k.After(Millisecond, func(Time) { p.Kill() })
+	k.Run()
+	if !cleaned {
+		t.Error("defer did not run on unwind")
+	}
+	if c.Waiters() != 0 {
+		t.Errorf("waiters = %d, want 0", c.Waiters())
+	}
+}
+
+// --- RunUntil boundary semantics ---
+
+// An event scheduled exactly at t is executed by RunUntil(t), and one at
+// t+1ns is not; the clock lands exactly on t either way.
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	k := NewKernel(1)
+	var fired []string
+	k.At(Time(Second), func(Time) { fired = append(fired, "at-t") })
+	k.At(Time(Second)+1, func(Time) { fired = append(fired, "after-t") })
+	k.RunUntil(Time(Second))
+	if len(fired) != 1 || fired[0] != "at-t" {
+		t.Errorf("fired = %v, want [at-t]", fired)
+	}
+	if k.Now() != Time(Second) {
+		t.Errorf("now = %v, want 1s", k.Now())
+	}
+	// The t+1 event is still pending and fires on the next call.
+	k.RunUntil(Time(2 * Second))
+	if len(fired) != 2 || fired[1] != "after-t" {
+		t.Errorf("fired = %v, want [at-t after-t]", fired)
+	}
+}
+
+// RunUntil past the kernel limit stops at the limit and sets Ended, even
+// when events remain beyond it.
+func TestRunUntilRespectsLimit(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.At(Time(5*Second), func(Time) { fired = true })
+	k.SetLimit(Time(2 * Second))
+	k.RunUntil(Time(10 * Second))
+	if fired {
+		t.Error("event beyond the limit fired")
+	}
+	if !k.Ended() {
+		t.Error("Ended() = false, want true")
+	}
+	if k.Now() != Time(2*Second) {
+		t.Errorf("now = %v, want clamped to the 2s limit", k.Now())
+	}
+}
+
+// RunUntil with an empty queue advances the clock to t without events.
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel(1)
+	k.RunUntil(Time(3 * Second))
+	if k.Now() != Time(3*Second) {
+		t.Errorf("now = %v, want 3s", k.Now())
+	}
+}
+
+// KillAll must drain efficiently and correctly even when live processes
+// keep respawning sleeps, and must be a no-op on a kernel whose processes
+// all finished naturally.
+func TestKillAllAfterNaturalFinish(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 8; i++ {
+		k.Spawn("short", func(p *Proc) { p.Sleep(Millisecond) })
+	}
+	k.Run()
+	if n := len(k.Procs()); n != 0 {
+		t.Fatalf("live procs after Run = %d, want 0", n)
+	}
+	k.KillAll() // must not hang or panic with the live counter at zero
+	if n := len(k.Procs()); n != 0 {
+		t.Errorf("live procs after KillAll = %d, want 0", n)
+	}
+}

@@ -112,6 +112,8 @@ type Backend struct {
 	// overflow puts, misses and flushes cascade down this slice in order.
 	// Attached before traffic starts and read lock-free on the data path.
 	tiers []Tier
+	// tiersView is the immutable snapshot Tiers returns (rebuilt on attach).
+	tiersView []Tier
 
 	totalPages mem.Pages
 	// freePages mirrors the summed allocator state (node_info.free_tmem).
@@ -127,6 +129,10 @@ type Backend struct {
 	vms  map[VMID]*vmAccount
 
 	pageSize mem.Bytes
+
+	// batchPool recycles the scratch state of PutBatch/GetBatch (see
+	// batch.go) so warm batch calls allocate nothing.
+	batchPool sync.Pool
 }
 
 // Options configures a sharded backend (see NewBackendOpts).
@@ -207,6 +213,7 @@ func newBackend(totalPages mem.Pages, stores []PageStore) *Backend {
 		vms:        make(map[VMID]*vmAccount),
 		pageSize:   mem.Bytes(stores[0].PageSize()),
 	}
+	b.batchPool.New = func() any { return new(batchScratch) }
 	b.freePages.Store(int64(totalPages))
 	// Partition the frame space: the first (total mod n) stripes hold one
 	// extra frame. Frame numbers are globally unique (base + local index).
@@ -236,10 +243,18 @@ func (b *Backend) AttachTier(t Tier) {
 		panic("tmem: nil tier")
 	}
 	b.tiers = append(b.tiers, t)
+	// Rebuild the immutable view Tiers hands out. Copied once per attach
+	// (setup time), never per call — samplers and reporters may poll Tiers
+	// without allocating.
+	view := make([]Tier, len(b.tiers))
+	copy(view, b.tiers)
+	b.tiersView = view
 }
 
-// Tiers returns the attached tiers (tier 1 and below), in order.
-func (b *Backend) Tiers() []Tier { return append([]Tier(nil), b.tiers...) }
+// Tiers returns the attached tiers (tier 1 and below), in order. The
+// returned slice is a cached immutable view — callers must not modify it —
+// so polling it from samplers costs no allocation.
+func (b *Backend) Tiers() []Tier { return b.tiersView }
 
 // shardFor maps a key to its lock stripe.
 func (b *Backend) shardFor(key Key) *shard {
@@ -395,6 +410,7 @@ func (b *Backend) purgePools(pools []*Pool) {
 			}
 			for _, e := range obj {
 				b.dropEntry(sh, e)
+				sh.freeEntry(e)
 			}
 			delete(sh.objects, k)
 		}
@@ -468,6 +484,7 @@ func (b *Backend) evictHead(sh *shard) bool {
 	sh.removeEntry(e)
 	b.dropEntry(sh, e)
 	e.acct.cumulEphEvicted.Add(1)
+	sh.freeEntry(e)
 	return true
 }
 
@@ -512,36 +529,43 @@ func (b *Backend) Put(key Key, data []byte) Status {
 			b.tiers[fromTier].FlushPage(key)
 		}
 	case st == ETmem:
-		// A key already tracked in a tier is re-offered there first (the
-		// tier replaces contents in place); otherwise the stack is walked
-		// top-down and the accepting tier recorded. Tracking happens only
-		// if no concurrent put landed the key locally in the meantime —
-		// the tier copy is flushed instead, so a page is never both local
-		// and tracked (see noteRemoteIfFree).
-		tried := -1
-		if ti := sh.remoteTier(key); ti >= 0 {
-			if b.tiers[ti].Put(key, p.kind, data) == STmem {
-				if !sh.noteRemoteIfFree(key, ti) {
-					b.tiers[ti].FlushPage(key)
-				}
-				return STmem
-			}
-			sh.dropRemote(key)
-			tried = ti
-		}
-		for i, t := range b.tiers {
-			if i == tried {
-				continue // this tier just rejected the re-offer
-			}
-			if t.Put(key, p.kind, data) == STmem {
-				if !sh.noteRemoteIfFree(key, i) {
-					t.FlushPage(key)
-				}
-				return STmem
-			}
+		if b.offerTiers(p, sh, key, data) == STmem {
+			return STmem
 		}
 	}
 	return st
+}
+
+// offerTiers walks the tier stack with a page the local store rejected. A
+// key already tracked in a tier is re-offered there first (the tier
+// replaces contents in place); otherwise the stack is walked top-down and
+// the accepting tier recorded. Tracking happens only if no concurrent put
+// landed the key locally in the meantime — the tier copy is flushed
+// instead, so a page is never both local and tracked (see noteRemoteIfFree).
+func (b *Backend) offerTiers(p *Pool, sh *shard, key Key, data []byte) Status {
+	tried := -1
+	if ti := sh.remoteTier(key); ti >= 0 {
+		if b.tiers[ti].Put(key, p.kind, data) == STmem {
+			if !sh.noteRemoteIfFree(key, ti) {
+				b.tiers[ti].FlushPage(key)
+			}
+			return STmem
+		}
+		sh.dropRemote(key)
+		tried = ti
+	}
+	for i, t := range b.tiers {
+		if i == tried {
+			continue // this tier just rejected the re-offer
+		}
+		if t.Put(key, p.kind, data) == STmem {
+			if !sh.noteRemoteIfFree(key, i) {
+				t.FlushPage(key)
+			}
+			return STmem
+		}
+	}
+	return ETmem
 }
 
 // PutLocal is Put restricted to tier 0, the local striped store. It is the
@@ -564,19 +588,25 @@ func (b *Backend) putLocal(p *Pool, key Key, data []byte) (st Status, fromTier i
 	a := p.acct
 	a.putsTotal.Add(1)
 	a.cumulPutsTotal.Add(1)
-
 	sh = b.shardFor(key)
+	st, fromTier = b.putRetry(sh, p, a, key, data)
+	return st, fromTier, sh
+}
+
+// putRetry runs the local put attempt/evict loop of Algorithm 1. The caller
+// has already bumped the puts_total counters.
+func (b *Backend) putRetry(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, fromTier int) {
 	for {
 		st, retry, ti := b.tryPut(sh, p, a, key, data)
 		if !retry {
-			return st, ti, sh
+			return st, ti
 		}
 		// Algorithm 1, line 7: the node is out of frames. Ephemeral pages
 		// are sacrificed first, as in Xen, before failing the put. Each
 		// eviction frees exactly one frame, so the loop makes progress
 		// even when concurrent puts race for it.
 		if !b.evictOldest() {
-			return ETmem, -1, sh
+			return ETmem, -1
 		}
 	}
 }
@@ -588,7 +618,12 @@ func (b *Backend) putLocal(p *Pool, key Key, data []byte) (st Status, fromTier i
 func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, retry bool, fromTier int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return b.tryPutLocked(sh, p, a, key, data)
+}
 
+// tryPutLocked is tryPut's body; the caller holds sh.mu (the batch path
+// holds it across a whole run of same-stripe keys).
+func (b *Backend) tryPutLocked(sh *shard, p *Pool, a *vmAccount, key Key, data []byte) (st Status, retry bool, fromTier int) {
 	if p.dead.Load() {
 		return EInval, false, -1
 	}
@@ -631,11 +666,12 @@ func (b *Backend) tryPut(sh *shard, p *Pool, a *vmAccount, key Key, data []byte)
 		a.tmemUsed.Add(-1)
 		return EInval, false, -1
 	}
-	e := &entry{key: key, pool: p, acct: a, frame: frame, handle: h}
+	e := sh.allocEntry()
+	e.key, e.pool, e.acct, e.frame, e.handle = key, p, a, frame, h
 	k := objKey{key.Pool, key.Object}
 	obj := sh.objects[k]
 	if obj == nil {
-		obj = make(map[PageIndex]*entry)
+		obj = sh.takeObj()
 		sh.objects[k] = obj
 	}
 	obj[key.Index] = e
@@ -722,6 +758,7 @@ func (b *Backend) getHitLocked(sh *shard, p *Pool, a *vmAccount, e *entry, dst [
 	if p.kind == Ephemeral {
 		sh.removeEntry(e)
 		b.dropEntry(sh, e)
+		sh.freeEntry(e)
 	}
 	return STmem
 }
@@ -753,6 +790,7 @@ func (b *Backend) FlushPage(key Key) Status {
 	if e := sh.lookup(key); e != nil {
 		sh.removeEntry(e)
 		b.dropEntry(sh, e)
+		sh.freeEntry(e)
 		sh.mu.Unlock()
 		p.acct.cumulFlushes.Add(1)
 		return STmem
@@ -784,6 +822,7 @@ func (b *Backend) FlushPageLocal(key Key) Status {
 	}
 	sh.removeEntry(e)
 	b.dropEntry(sh, e)
+	sh.freeEntry(e)
 	p.acct.cumulFlushes.Add(1)
 	return STmem
 }
@@ -847,6 +886,7 @@ func (b *Backend) flushObjectLocal(k objKey) (n mem.Pages, remote []mem.Pages) {
 		if obj, ok := sh.objects[k]; ok {
 			for _, e := range obj {
 				b.dropEntry(sh, e)
+				sh.freeEntry(e)
 				n++
 			}
 			delete(sh.objects, k)

@@ -1,0 +1,321 @@
+package tmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"smartmem/internal/mem"
+)
+
+// countingSvc wraps a PageService and counts transport round trips — the
+// quantity the batch frames exist to amortize.
+type countingSvc struct {
+	inner PageService
+	trips int
+}
+
+func (c *countingSvc) NewPool(vm VMID, kind PoolKind) (PoolID, error) {
+	c.trips++
+	return c.inner.NewPool(vm, kind)
+}
+func (c *countingSvc) Put(key Key, data []byte) (Status, error) {
+	c.trips++
+	return c.inner.Put(key, data)
+}
+func (c *countingSvc) Get(key Key) (Status, []byte, error) {
+	c.trips++
+	return c.inner.Get(key)
+}
+func (c *countingSvc) FlushPage(key Key) (Status, error) {
+	c.trips++
+	return c.inner.FlushPage(key)
+}
+func (c *countingSvc) FlushObject(pool PoolID, object ObjectID) (Status, error) {
+	c.trips++
+	return c.inner.FlushObject(pool, object)
+}
+func (c *countingSvc) DestroyPool(pool PoolID) (Status, error) {
+	c.trips++
+	return c.inner.DestroyPool(pool)
+}
+func (c *countingSvc) PutBatch(keys []Key, datas [][]byte, sts []Status) error {
+	c.trips++
+	return c.inner.(BatchPageService).PutBatch(keys, datas, sts)
+}
+func (c *countingSvc) GetBatch(keys []Key, dsts [][]byte, sts []Status) error {
+	c.trips++
+	return c.inner.(BatchPageService).GetBatch(keys, dsts, sts)
+}
+
+var _ BatchPageService = (*countingSvc)(nil)
+
+func testKeys(pool PoolID, n int) []Key {
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{Pool: pool, Object: ObjectID(i >> 4), Index: PageIndex(i)}
+	}
+	return keys
+}
+
+func TestPutBatchGetBatchRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			b := NewBackendOpts(1024, Options{
+				Shards:   shards,
+				NewStore: func() PageStore { return NewDataStore(testPage) },
+			})
+			pool := b.NewPool(1, Persistent)
+			const n = 64
+			keys := testKeys(pool, n)
+			datas := make([][]byte, n)
+			for i := range datas {
+				datas[i] = bytes.Repeat([]byte{byte(i + 1)}, testPage)
+			}
+			sts := make([]Status, n)
+			b.PutBatch(keys, datas, sts)
+			for i, st := range sts {
+				if st != STmem {
+					t.Fatalf("put %d = %v", i, st)
+				}
+			}
+			if got := b.UsedBy(1); got != n {
+				t.Fatalf("used = %d, want %d", got, n)
+			}
+			dsts := make([][]byte, n)
+			for i := range dsts {
+				dsts[i] = make([]byte, testPage)
+			}
+			b.GetBatch(keys, dsts, sts)
+			for i, st := range sts {
+				if st != STmem {
+					t.Fatalf("get %d = %v", i, st)
+				}
+				if !bytes.Equal(dsts[i], datas[i]) {
+					t.Fatalf("page %d contents corrupted", i)
+				}
+			}
+			b.FlushRun(keys, sts)
+			for i, st := range sts {
+				if st != STmem {
+					t.Fatalf("flush %d = %v", i, st)
+				}
+			}
+			if got := b.UsedBy(1); got != 0 {
+				t.Fatalf("used after flush = %d", got)
+			}
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBatchMatchesPerOpCounters: a batch must leave exactly the state and
+// counters a per-op loop leaves on a single-shard (deterministic) backend.
+func TestBatchMatchesPerOpCounters(t *testing.T) {
+	build := func() (*Backend, PoolID) {
+		b := NewBackend(128, NewMetaStore(testPage)) // small: forces overflow failures
+		return b, b.NewPool(1, Persistent)
+	}
+	const n = 200 // exceeds capacity: mix of successes and failures
+	snapshot := func(b *Backend) string {
+		c, _ := b.Counts(1)
+		return fmt.Sprintf("%+v free=%d used=%d", c, b.FreePages(), b.UsedBy(1))
+	}
+
+	ref, refPool := build()
+	keys := testKeys(refPool, n)
+	for _, k := range keys {
+		ref.Put(k, nil)
+	}
+	for _, k := range keys {
+		ref.Get(k, nil)
+	}
+
+	got, gotPool := build()
+	keys2 := testKeys(gotPool, n)
+	sts := make([]Status, n)
+	got.PutBatch(keys2, nil, sts)
+	got.GetBatch(keys2, nil, sts)
+
+	if a, b := snapshot(ref), snapshot(got); a != b {
+		t.Errorf("batch diverged from per-op:\n per-op: %s\n  batch: %s", a, b)
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutBatchOverflowOneRoundTrip pins the acceptance criterion: a run of
+// overflow puts crosses the transport in a single batch round trip, not
+// one per page — ≤ 1/4 of the per-page op count for run length ≥ 4.
+func TestPutBatchOverflowOneRoundTrip(t *testing.T) {
+	peer := NewBackend(1<<16, NewMetaStore(testPage))
+	svc := &countingSvc{inner: NewLoopback(peer)}
+	local := NewBackend(8, NewMetaStore(testPage))
+	local.AttachTier(NewRemoteTier("peer", svc, 1000))
+	pool := local.NewPool(1, Persistent)
+
+	const n = 32
+	keys := testKeys(pool, n)
+	sts := make([]Status, n)
+	local.PutBatch(keys, nil, sts)
+	for i, st := range sts {
+		if st != STmem {
+			t.Fatalf("put %d = %v (tier should have absorbed the overflow)", i, st)
+		}
+	}
+	overflow := n - 8 // pages the local store could not hold
+	if got := peer.UsedBy(1000); got != mem.Pages(overflow) {
+		t.Fatalf("peer absorbed %d pages, want %d", got, overflow)
+	}
+	// One NewPool + one PutBatch. The per-page protocol would have paid
+	// `overflow` trips.
+	if svc.trips > 2 {
+		t.Errorf("overflow run cost %d transport round trips, want <= 2 (per-page would cost %d)",
+			svc.trips, overflow)
+	}
+	if svc.trips > overflow/4 {
+		t.Errorf("batch round-trips %d exceed 1/4 of the per-page op count %d", svc.trips, overflow)
+	}
+
+	// The overflowed pages come back through one GetBatch round trip.
+	svc.trips = 0
+	getKeys := keys[8:]
+	getSts := make([]Status, len(getKeys))
+	local.GetBatch(getKeys, nil, getSts)
+	for i, st := range getSts {
+		if st != STmem {
+			t.Fatalf("get %d = %v", i, st)
+		}
+	}
+	if svc.trips != 1 {
+		t.Errorf("tracked-page get run cost %d round trips, want 1", svc.trips)
+	}
+	if err := local.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutBatchSupersedeFlushesTierCopy: a duplicate put that lands locally
+// must invalidate the stale lower-tier copy, exactly as Put does.
+func TestPutBatchSupersedeFlushesTierCopy(t *testing.T) {
+	peer := NewBackend(1<<16, NewMetaStore(testPage))
+	local := NewBackend(4, NewMetaStore(testPage))
+	local.AttachTier(NewRemoteTier("peer", NewLoopback(peer), 1000))
+	pool := local.NewPool(1, Persistent)
+
+	keys := testKeys(pool, 8)
+	sts := make([]Status, 8)
+	local.PutBatch(keys, nil, sts) // 4 land locally, 4 overflow to the peer
+	if got := peer.UsedBy(1000); got != 4 {
+		t.Fatalf("peer holds %d, want 4", got)
+	}
+	// Free local room, then re-put everything: the previously overflowed
+	// keys land locally and their peer copies must be flushed.
+	local.SetTarget(1, Unlimited)
+	flushSts := make([]Status, 4)
+	local.FlushRun(keys[:4], flushSts)
+	local.PutBatch(keys[4:], nil, flushSts)
+	for i, st := range flushSts {
+		if st != STmem {
+			t.Fatalf("re-put %d = %v", i, st)
+		}
+	}
+	if got := peer.UsedBy(1000); got != 0 {
+		t.Errorf("stale peer copies remain: %d pages", got)
+	}
+	if err := local.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmSlabZeroAlloc pins the acceptance criterion: duplicate puts and
+// gets against a warm DataStore-backed backend allocate nothing — the slab
+// free list recycles page buffers and the shard free list recycles entries.
+func TestWarmSlabZeroAlloc(t *testing.T) {
+	b := NewBackend(1024, NewDataStore(testPage))
+	ppool := b.NewPool(1, Persistent)
+	epool := b.NewPool(1, Ephemeral)
+	data := make([]byte, testPage)
+	dst := make([]byte, testPage)
+	// Warm up: high-water the slab, the entry pools and the maps.
+	for i := 0; i < 256; i++ {
+		b.Put(Key{Pool: ppool, Object: 1, Index: PageIndex(i)}, data)
+		b.Put(Key{Pool: epool, Object: 1, Index: PageIndex(i)}, data)
+	}
+	for i := 0; i < 256; i++ {
+		b.FlushPage(Key{Pool: ppool, Object: 1, Index: PageIndex(i)})
+		b.Get(Key{Pool: epool, Object: 1, Index: PageIndex(i)}, dst) // destructive
+	}
+
+	key := Key{Pool: ppool, Object: 1, Index: 0}
+	if st := b.Put(key, data); st != STmem {
+		t.Fatal(st)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if b.Put(key, data) != STmem { // duplicate put: replace in place
+			t.Fatal("put failed")
+		}
+		if b.Get(key, dst) != STmem {
+			t.Fatal("get missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm duplicate put/get = %v allocs/op, want 0", allocs)
+	}
+
+	// Fresh put + flush cycle (entry + frame + slab page recycled).
+	k2 := Key{Pool: ppool, Object: 2, Index: 1}
+	b.Put(k2, data)
+	b.FlushPage(k2)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if b.Put(k2, data) != STmem {
+			t.Fatal("put failed")
+		}
+		if b.FlushPage(k2) != STmem {
+			t.Fatal("flush missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm put/flush cycle = %v allocs/op, want 0", allocs)
+	}
+
+	// Ephemeral put + destructive get cycle through the eviction LRU.
+	k3 := Key{Pool: epool, Object: 3, Index: 1}
+	b.Put(k3, data)
+	b.Get(k3, dst)
+	if allocs := testing.AllocsPerRun(200, func() {
+		if b.Put(k3, data) != STmem {
+			t.Fatal("put failed")
+		}
+		if b.Get(k3, dst) != STmem {
+			t.Fatal("get missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm ephemeral put/get = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWarmBatchZeroAlloc: the batch engine's scratch pool must make warm
+// GetRun/PutBatch calls allocation-free too.
+func TestWarmBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector defeats sync.Pool reuse")
+	}
+	b := NewBackend(1024, NewMetaStore(testPage))
+	pool := b.NewPool(1, Persistent)
+	const n = 64
+	keys := testKeys(pool, n)
+	sts := make([]Status, n)
+	b.PutBatch(keys, nil, sts)
+	b.GetRun(keys, sts)
+	b.PutBatch(keys, nil, sts)
+	if allocs := testing.AllocsPerRun(100, func() {
+		b.PutBatch(keys, nil, sts) // duplicate puts
+		if b.GetRun(keys, sts) != n {
+			t.Fatal("run stopped early")
+		}
+	}); allocs != 0 {
+		t.Errorf("warm batch cycle = %v allocs/op, want 0", allocs)
+	}
+}

@@ -44,10 +44,16 @@ type PageStore interface {
 // --- DataStore ---
 
 // DataStore keeps verbatim page copies, matching Xen's page-copy interface.
+// Page buffers are slab-managed: Drop pushes the buffer onto a free list and
+// Save pops from it, so a store cycling at a steady page count performs no
+// allocation after its high-water mark (DESIGN.md §9). The free list is
+// bounded to the store's own high-water mark by construction — it only ever
+// holds buffers the store previously handed out.
 type DataStore struct {
 	pageSize int
 	pages    map[Handle][]byte
 	next     Handle
+	free     [][]byte // slab free list of page-size buffers
 }
 
 // NewDataStore creates a store of full page copies.
@@ -66,8 +72,16 @@ func (s *DataStore) Save(data []byte) (Handle, error) {
 	if len(data) > s.pageSize {
 		return NoHandle, fmt.Errorf("tmem: page data %d bytes exceeds page size %d", len(data), s.pageSize)
 	}
-	p := make([]byte, s.pageSize)
-	copy(p, data)
+	var p []byte
+	if n := len(s.free); n > 0 {
+		p = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		clear(p[copy(p, data):]) // recycled buffer: zero the tail
+	} else {
+		p = make([]byte, s.pageSize)
+		copy(p, data)
+	}
 	h := s.next
 	s.next++
 	s.pages[h] = p
@@ -89,15 +103,21 @@ func (s *DataStore) Load(h Handle, dst []byte) error {
 
 // Drop implements PageStore.
 func (s *DataStore) Drop(h Handle) error {
-	if _, ok := s.pages[h]; !ok {
+	p, ok := s.pages[h]
+	if !ok {
 		return fmt.Errorf("tmem: drop of unknown handle %d", h)
 	}
 	delete(s.pages, h)
+	s.free = append(s.free, p)
 	return nil
 }
 
-// Footprint implements PageStore.
+// Footprint implements PageStore. Live pages only; buffers parked on the
+// slab free list are reported separately by Reserved.
 func (s *DataStore) Footprint() int64 { return int64(len(s.pages)) * int64(s.pageSize) }
+
+// Reserved returns the bytes held on the slab free list, awaiting reuse.
+func (s *DataStore) Reserved() int64 { return int64(len(s.free)) * int64(s.pageSize) }
 
 // Count implements PageStore.
 func (s *DataStore) Count() int { return len(s.pages) }

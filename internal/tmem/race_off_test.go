@@ -1,0 +1,5 @@
+//go:build !race
+
+package tmem
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package tmem
+
+// raceEnabled disables allocation-count assertions: the race detector
+// defeats sync.Pool's per-P fast path, so alloc budgets don't hold.
+const raceEnabled = true

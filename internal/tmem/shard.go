@@ -51,6 +51,17 @@ type shard struct {
 	// steal from it when their own partition runs dry, which keeps the
 	// capacity pool global.
 	frames frameSource
+
+	// freeEnts is the shard's entry free list (chained through entry.next,
+	// guarded by mu): a put/flush cycle at steady state reuses entry structs
+	// instead of allocating one per insert.
+	freeEnts *entry
+
+	// spareObj parks the most recently emptied per-object page map for
+	// reuse, so an object cycling between empty and populated (a guest
+	// repeatedly faulting and flushing one region) does not allocate a
+	// fresh map per cycle.
+	spareObj map[PageIndex]*entry
 }
 
 func newShard(store PageStore) *shard {
@@ -76,6 +87,27 @@ func (sh *shard) lruRemove(e *entry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 	e.prev, e.next = nil, nil
+}
+
+// allocEntry pops an entry from the shard's free list, or allocates one.
+// Caller holds mu.
+func (sh *shard) allocEntry() *entry {
+	e := sh.freeEnts
+	if e == nil {
+		return &entry{}
+	}
+	sh.freeEnts = e.next
+	e.next = nil
+	return e
+}
+
+// freeEntry resets e and pushes it onto the free list. The caller holds mu,
+// has already unlinked e from the object maps and the LRU, and must not
+// touch e afterwards.
+func (sh *shard) freeEntry(e *entry) {
+	*e = entry{next: sh.freeEnts}
+	e.handle = NoHandle
+	sh.freeEnts = e
 }
 
 // lookup returns the entry stored under key, or nil.
@@ -174,7 +206,19 @@ func (sh *shard) removeEntry(e *entry) {
 	delete(obj, e.key.Index)
 	if len(obj) == 0 {
 		delete(sh.objects, k)
+		if sh.spareObj == nil {
+			sh.spareObj = obj // park the empty map for the next insert
+		}
 	}
+}
+
+// takeObj returns a page map for a fresh object, reusing the spare.
+func (sh *shard) takeObj() map[PageIndex]*entry {
+	if obj := sh.spareObj; obj != nil {
+		sh.spareObj = nil
+		return obj
+	}
+	return make(map[PageIndex]*entry)
 }
 
 // frameSource is one stripe of the node's physical frame space: a

@@ -97,6 +97,30 @@ type pageGetter interface {
 	GetInto(key Key, dst []byte) (Status, error)
 }
 
+// BatchTier is an optional Tier refinement: whole runs of overflow puts or
+// tracked-page gets move in one call — and, for wire-backed tiers, one
+// network round trip — instead of one per page. Backend.PutBatch/GetBatch
+// use it when the tier provides it and fall back to per-page calls
+// otherwise.
+type BatchTier interface {
+	Tier
+	// PutBatch offers a run of overflow pages; kinds[i] is the owning
+	// pool's kind. sts receives one status per key.
+	PutBatch(keys []Key, kinds []PoolKind, datas [][]byte, sts []Status)
+	// GetBatch retrieves a run of pages previously accepted by Put; dsts
+	// may be nil or hold per-key buffers (nil entries mean presence only).
+	GetBatch(keys []Key, dsts [][]byte, sts []Status)
+}
+
+// BatchPageService is an optional PageService refinement mirroring
+// BatchTier at the transport layer: kvstore.Client ships the whole run in
+// one OpPutBatch/OpGetBatch wire frame, Loopback feeds it straight into
+// the peer backend's stripe-grouped batch path.
+type BatchPageService interface {
+	PutBatch(keys []Key, datas [][]byte, sts []Status) error
+	GetBatch(keys []Key, dsts [][]byte, sts []Status) error
+}
+
 // objectFlushCounter is an optional PageService refinement: FlushObjectCount
 // additionally reports how many pages the flush actually freed. Loopback,
 // kvstore.Client and kvstore.SyncClient all implement it (the wire protocol
@@ -246,6 +270,137 @@ func (r *RemoteTier) Get(key Key, dst []byte) Status {
 	return st
 }
 
+// keyScratch recycles the peer-key translation buffers of the batch paths.
+var keyScratch = sync.Pool{New: func() any { return new(remoteBatchScratch) }}
+
+type remoteBatchScratch struct {
+	keys []Key
+	idx  []int32
+	dsts [][]byte
+	sts  []Status
+}
+
+// PutBatch implements BatchTier: the run is translated to peer keys and
+// shipped through the service's batch surface in one round trip when the
+// transport provides it.
+func (r *RemoteTier) PutBatch(keys []Key, kinds []PoolKind, datas [][]byte, sts []Status) {
+	fill := func(from int) {
+		for i := from; i < len(keys); i++ {
+			sts[i] = ETmem
+		}
+	}
+	if r.down.Load() {
+		fill(0)
+		return
+	}
+	r.puts.Add(uint64(len(keys)))
+	sc := keyScratch.Get().(*remoteBatchScratch)
+	defer keyScratch.Put(sc)
+	sc.keys = sc.keys[:0]
+	for i, k := range keys {
+		rp, ok := r.ensurePool(k.Pool, kinds[i])
+		if !ok {
+			// ensurePool failed => the tier is down; nothing else can land.
+			fill(i)
+			return
+		}
+		sc.keys = append(sc.keys, Key{Pool: rp, Object: k.Object, Index: k.Index})
+	}
+	if bs, ok := r.svc.(BatchPageService); ok {
+		if err := bs.PutBatch(sc.keys, datas, sts); err != nil {
+			r.fail()
+			fill(0)
+			return
+		}
+	} else {
+		for i, rk := range sc.keys {
+			st, err := r.svc.Put(rk, datas[i])
+			if err != nil {
+				r.fail()
+				fill(i)
+				return
+			}
+			sts[i] = st
+		}
+	}
+	for _, st := range sts {
+		if st == STmem {
+			r.putsOK.Add(1)
+		}
+	}
+}
+
+// GetBatch implements BatchTier.
+func (r *RemoteTier) GetBatch(keys []Key, dsts [][]byte, sts []Status) {
+	for i := range sts {
+		sts[i] = ETmem
+	}
+	if r.down.Load() {
+		return
+	}
+	sc := keyScratch.Get().(*remoteBatchScratch)
+	defer keyScratch.Put(sc)
+	// Registered after Put, so it runs first: never park caller page
+	// buffers in the pool, whichever path returns.
+	defer func() { clear(sc.dsts) }()
+	sc.keys, sc.idx, sc.dsts = sc.keys[:0], sc.idx[:0], sc.dsts[:0]
+	for i, k := range keys {
+		rp, ok := r.peerPool(k.Pool)
+		if !ok {
+			continue // never overflowed this pool: miss without a wire trip
+		}
+		sc.keys = append(sc.keys, Key{Pool: rp, Object: k.Object, Index: k.Index})
+		sc.idx = append(sc.idx, int32(i))
+		if dsts == nil {
+			sc.dsts = append(sc.dsts, nil)
+		} else {
+			sc.dsts = append(sc.dsts, dsts[i])
+		}
+	}
+	if len(sc.keys) == 0 {
+		return
+	}
+	r.gets.Add(uint64(len(sc.keys)))
+	// Default every slot to ETmem (the Status zero value is STmem, so a
+	// transport that under-writes must read as a miss, not a false hit).
+	sc.sts = sc.sts[:0]
+	for range sc.keys {
+		sc.sts = append(sc.sts, ETmem)
+	}
+	if bs, ok := r.svc.(BatchPageService); ok {
+		if err := bs.GetBatch(sc.keys, sc.dsts, sc.sts); err != nil {
+			r.fail()
+			return
+		}
+	} else {
+		g, hasGetInto := r.svc.(pageGetter)
+		for j, rk := range sc.keys {
+			var st Status
+			var err error
+			if hasGetInto {
+				st, err = g.GetInto(rk, sc.dsts[j])
+			} else {
+				var payload []byte
+				st, payload, err = r.svc.Get(rk)
+				if err == nil && st == STmem && sc.dsts[j] != nil {
+					copy(sc.dsts[j], payload)
+				}
+			}
+			if err != nil {
+				r.fail()
+				return
+			}
+			sc.sts[j] = st
+		}
+	}
+	for j, i := range sc.idx {
+		if sc.sts[j] == STmem {
+			r.getsHit.Add(1)
+		}
+		sts[i] = sc.sts[j]
+	}
+}
+
 // FlushPage implements Tier.
 func (r *RemoteTier) FlushPage(key Key) Status {
 	if r.down.Load() {
@@ -343,6 +498,19 @@ func (l *Loopback) GetInto(key Key, dst []byte) (Status, error) {
 	return l.b.GetLocal(key, dst), nil
 }
 
+// PutBatch implements BatchPageService: the peer's stripe-grouped batch
+// path absorbs the whole overflow run with one lock acquisition per stripe.
+func (l *Loopback) PutBatch(keys []Key, datas [][]byte, sts []Status) error {
+	l.b.PutBatchLocal(keys, datas, sts)
+	return nil
+}
+
+// GetBatch implements BatchPageService.
+func (l *Loopback) GetBatch(keys []Key, dsts [][]byte, sts []Status) error {
+	l.b.GetBatchLocal(keys, dsts, sts)
+	return nil
+}
+
 // FlushPage implements PageService.
 func (l *Loopback) FlushPage(key Key) (Status, error) {
 	return l.b.FlushPageLocal(key), nil
@@ -370,6 +538,8 @@ func (l *Loopback) DestroyPool(pool PoolID) (Status, error) {
 
 // Compile-time interface checks.
 var (
-	_ Tier        = (*RemoteTier)(nil)
-	_ PageService = (*Loopback)(nil)
+	_ Tier             = (*RemoteTier)(nil)
+	_ BatchTier        = (*RemoteTier)(nil)
+	_ PageService      = (*Loopback)(nil)
+	_ BatchPageService = (*Loopback)(nil)
 )

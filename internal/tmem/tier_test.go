@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"smartmem/internal/mem"
@@ -368,6 +369,11 @@ func benchTierOps(b *testing.B, withTier bool) {
 func BenchmarkRemoteTier(b *testing.B) {
 	b.Run("local-only", func(b *testing.B) { benchTierOps(b, false) })
 	b.Run("remote", func(b *testing.B) { benchTierOps(b, true) })
+	// Batched variants ship overflow in runs; round-trips/op reports the
+	// transport amortization (<= 1/run-length for overflow-dominated load,
+	// vs ~1 for the per-page protocol above).
+	b.Run("remote-batch-4", func(b *testing.B) { benchTierBatch(b, 4) })
+	b.Run("remote-batch-16", func(b *testing.B) { benchTierBatch(b, 16) })
 }
 
 // TestBenchmarkTopologySane pins what BenchmarkRemoteTier claims: on the
@@ -425,5 +431,128 @@ func TestFlushObjectCountExactAfterPeerEviction(t *testing.T) {
 	}
 	if err := local.CheckInvariants(); err != nil {
 		t.Error(err)
+	}
+}
+
+// tripCountingSvc wraps Loopback with an atomic transport round-trip
+// counter (benchmarks run parallel goroutines).
+type tripCountingSvc struct {
+	inner *Loopback
+	trips atomic.Uint64
+}
+
+func (c *tripCountingSvc) NewPool(vm VMID, kind PoolKind) (PoolID, error) {
+	c.trips.Add(1)
+	return c.inner.NewPool(vm, kind)
+}
+func (c *tripCountingSvc) Put(key Key, data []byte) (Status, error) {
+	c.trips.Add(1)
+	return c.inner.Put(key, data)
+}
+func (c *tripCountingSvc) Get(key Key) (Status, []byte, error) {
+	c.trips.Add(1)
+	return c.inner.Get(key)
+}
+func (c *tripCountingSvc) FlushPage(key Key) (Status, error) {
+	c.trips.Add(1)
+	return c.inner.FlushPage(key)
+}
+func (c *tripCountingSvc) FlushObject(pool PoolID, object ObjectID) (Status, error) {
+	c.trips.Add(1)
+	return c.inner.FlushObject(pool, object)
+}
+func (c *tripCountingSvc) DestroyPool(pool PoolID) (Status, error) {
+	c.trips.Add(1)
+	return c.inner.DestroyPool(pool)
+}
+func (c *tripCountingSvc) PutBatch(keys []Key, datas [][]byte, sts []Status) error {
+	c.trips.Add(1)
+	return c.inner.PutBatch(keys, datas, sts)
+}
+func (c *tripCountingSvc) GetBatch(keys []Key, dsts [][]byte, sts []Status) error {
+	c.trips.Add(1)
+	return c.inner.GetBatch(keys, dsts, sts)
+}
+
+// benchTierBatch drives the same over-committed topology as benchTierOps
+// but issues the puts in runs through PutBatch. With run length >= 4 the
+// transport round trips drop to <= 1/4 of the per-page op count (the
+// store-level amortization the batch frames exist for); the bench reports
+// the measured ratio.
+func benchTierBatch(b *testing.B, runLen int) {
+	shards := runtime.GOMAXPROCS(0)
+	local := NewBackendOpts(1024, Options{
+		Shards:   shards,
+		NewStore: func() PageStore { return NewMetaStore(testPage) },
+	})
+	peer := NewBackendOpts(1<<20, Options{
+		Shards:   shards,
+		NewStore: func() PageStore { return NewMetaStore(testPage) },
+	})
+	svc := &tripCountingSvc{inner: NewLoopback(peer)}
+	local.AttachTier(NewRemoteTier("peer", svc, 1000))
+	var pools []PoolID
+	for w := 0; w < 16; w++ {
+		pools = append(pools, local.NewPool(VMID(w), Persistent))
+	}
+	var widx uint64
+	var mu sync.Mutex
+	var ops atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		pool := pools[int(widx)%len(pools)]
+		widx++
+		mu.Unlock()
+		keys := make([]Key, runLen)
+		sts := make([]Status, runLen)
+		i := 0
+		for pb.Next() {
+			for j := range keys {
+				keys[j] = Key{Pool: pool, Object: ObjectID(i >> 12), Index: PageIndex(i)}
+				i++
+			}
+			local.PutBatch(keys, nil, sts)
+			ops.Add(uint64(runLen))
+			if i%4 == 0 {
+				local.GetBatch(keys, nil, sts)
+				ops.Add(uint64(runLen))
+			}
+		}
+	})
+	b.StopTimer()
+	if n := ops.Load(); n > 0 {
+		b.ReportMetric(float64(svc.trips.Load())/float64(n), "round-trips/op")
+	}
+}
+
+// TestBatchTripRatio pins the BenchmarkRemoteTier claim outside the bench
+// harness: shipping overflow in runs of >= 4 pays <= 1/4 the transport
+// round trips of the per-page protocol.
+func TestBatchTripRatio(t *testing.T) {
+	local := NewBackend(16, NewMetaStore(testPage))
+	peer := NewBackend(1<<16, NewMetaStore(testPage))
+	svc := &tripCountingSvc{inner: NewLoopback(peer)}
+	local.AttachTier(NewRemoteTier("peer", svc, 1000))
+	pool := local.NewPool(1, Persistent)
+
+	const runLen, runs = 8, 64
+	keys := make([]Key, runLen)
+	sts := make([]Status, runLen)
+	ops := 0
+	for r := 0; r < runs; r++ {
+		for j := range keys {
+			keys[j] = Key{Pool: pool, Object: 9, Index: PageIndex(r*runLen + j)}
+		}
+		local.PutBatch(keys, nil, sts)
+		ops += runLen
+	}
+	// Everything past the 16 local frames overflowed; each batch cost at
+	// most one transport trip (plus the one-time pool creation).
+	overflowOps := ops - 16
+	trips := int(svc.trips.Load())
+	if trips > overflowOps/4 {
+		t.Errorf("batch transport trips = %d for %d overflow ops, want <= 1/4 (per-page would pay %d)",
+			trips, overflowOps, overflowOps)
 	}
 }
