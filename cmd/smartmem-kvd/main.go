@@ -20,10 +20,20 @@
 // acyclic (A→B, or A→B→C; never back to A): overflow requests are served
 // through the peer's full tier stack, so a cycle would bounce pages.
 //
+// With -compress the daemon additionally attaches a compressed in-RAM tier
+// ahead of any remote tier: overflow pages compress and dedup into a slab
+// arena of the given byte budget before the daemon considers shipping them
+// to a peer or failing the put. -debug serves Go expvar (JSON over HTTP)
+// with live tier and compression counters — stored vs raw bytes, dedup
+// hits, codec nanoseconds — so the achieved ratio is observable on a
+// running daemon.
+//
 // Modes:
 //
 //	smartmem-kvd -listen :7077 -pages 262144 -shards 8   # KV daemon
 //	smartmem-kvd -listen :7077 -remote far:7077          # + remote tier
+//	smartmem-kvd -listen :7077 -compress 256             # + 256 MiB compressed tier
+//	smartmem-kvd -listen :7077 -debug :7079              # + expvar counters
 //	smartmem-kvd -connect :7077 -demo                    # KV client demo
 //	smartmem-kvd -mm :7078 -policy smart-alloc:P=2       # MM daemon (TKM peer)
 package main
@@ -31,10 +41,12 @@ package main
 import (
 	"bytes"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -64,6 +76,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "store lock stripes for -listen mode; 0 means GOMAXPROCS")
 		remote   = flag.String("remote", "", "chain a remote tmem tier: ship overflow pages to the smartmem-kvd at this address (keep chains acyclic)")
 		remoteVM = flag.Int("remote-owner", 1000, "VM id this node's overflow pages are accounted under on the -remote peer")
+		compress = flag.Int64("compress", 0, "attach a compressed in-RAM tier with this slab arena budget in MiB (0 disables)")
+		codec    = flag.String("codec", "lz", "compressed-tier codec (lz, nocompress)")
+		debug    = flag.String("debug", "", "serve expvar debug counters (JSON over HTTP) on this address in -listen mode")
 		demo     = flag.Bool("demo", false, "run put/get/flush round trips in -connect mode")
 	)
 	flag.Parse()
@@ -71,6 +86,20 @@ func main() {
 	switch {
 	case *listen != "":
 		backend := newBackend(mem.Pages(*pages), *shards)
+		var ctier *tmem.CompressedTier
+		if *compress > 0 {
+			c, err := tmem.CodecByName(*codec)
+			fatalIf(err)
+			ctier = tmem.NewCompressedTier(tmem.CompressedTierConfig{
+				PageSize:      pageSize,
+				CapacityBytes: mem.Bytes(*compress) * mem.MiB,
+				Codec:         c,
+			})
+			// Attached before any remote tier: demotions compress locally
+			// before the daemon considers shipping them to a peer.
+			backend.AttachTier(ctier)
+			fmt.Printf("smartmem-kvd: compressed tier: %d MiB arena, codec %s\n", *compress, c.Name())
+		}
 		if *remote != "" {
 			conn, err := net.Dial("tcp", *remote)
 			fatalIf(err)
@@ -82,6 +111,13 @@ func main() {
 		}
 		l, err := net.Listen("tcp", *listen)
 		fatalIf(err)
+		if *debug != "" {
+			dl, err := net.Listen("tcp", *debug)
+			fatalIf(err)
+			publishDebugVars(backend)
+			go func() { fatalIf(http.Serve(dl, expvar.Handler())) }()
+			fmt.Printf("smartmem-kvd: debug counters on http://%s/\n", dl.Addr())
+		}
 		fmt.Printf("smartmem-kvd: serving %d tmem pages (%d shards) on %s\n",
 			*pages, backend.Shards(), l.Addr())
 		sigs := make(chan os.Signal, 1)
@@ -153,6 +189,51 @@ func serveKV(l net.Listener, backend *tmem.Backend, sigs <-chan os.Signal, drain
 	}
 }
 
+// publishDebugVars registers the daemon's live counters under the
+// "smartmem" expvar key. The snapshot is taken on every HTTP request, so
+// the served JSON always reflects the store and its tiers at that moment —
+// including compressed-tier detail (stored vs raw bytes, dedup hits, codec
+// nanoseconds) when a -compress tier is attached.
+func publishDebugVars(b *tmem.Backend) {
+	expvar.Publish("smartmem", expvar.Func(func() any {
+		used := b.TotalPages() - b.FreePages()
+		doc := map[string]any{
+			"pages_total": int64(b.TotalPages()),
+			"pages_used":  int64(used),
+			"footprint":   b.Footprint(),
+		}
+		var tiers []map[string]any
+		for _, t := range b.Tiers() {
+			s := t.Stats()
+			m := map[string]any{
+				"name":    t.Name(),
+				"puts":    s.Puts,
+				"puts_ok": s.PutsOK,
+				"gets":    s.Gets, "gets_hit": s.GetsHit,
+				"flushes": s.PageFlushes + s.ObjectFlushes,
+				"errors":  s.Errors,
+			}
+			if ct, ok := t.(*tmem.CompressedTier); ok {
+				cs := ct.CompressedStats()
+				m["pages_stored"] = cs.PagesStored
+				m["unique_blobs"] = cs.UniqueBlobs
+				m["raw_bytes"] = int64(cs.RawBytes)
+				m["stored_bytes"] = int64(cs.StoredBytes)
+				m["ratio"] = cs.Ratio()
+				m["dedup_hits"] = cs.DedupHits
+				m["rejected_full"] = cs.RejectedFull
+				m["decode_errors"] = cs.DecodeErrors
+				m["compress_ns"] = cs.CompressNs
+				m["decompress_ns"] = cs.DecompressNs
+				m["effective_extra_pages"] = int64(ct.EffectiveExtraPages())
+			}
+			tiers = append(tiers, m)
+		}
+		doc["tiers"] = tiers
+		return doc
+	}))
+}
+
 // printFinalStats reports the store's end state: capacity in use, host
 // footprint, and cumulative per-VM operation counts.
 func printFinalStats(w io.Writer, b *tmem.Backend) {
@@ -171,6 +252,12 @@ func printFinalStats(w io.Writer, b *tmem.Backend) {
 		s := t.Stats()
 		fmt.Fprintf(w, "smartmem-kvd:   tier %s: puts %d/%d gets %d/%d flushes %d errors %d\n",
 			t.Name(), s.PutsOK, s.Puts, s.GetsHit, s.Gets, s.PageFlushes+s.ObjectFlushes, s.Errors)
+		if ct, ok := t.(*tmem.CompressedTier); ok {
+			cs := ct.CompressedStats()
+			fmt.Fprintf(w, "smartmem-kvd:   tier %s: %d pages in %d blobs, %v raw -> %v stored (%.2fx), dedup hits %d, decode errors %d\n",
+				t.Name(), cs.PagesStored, cs.UniqueBlobs, cs.RawBytes, cs.StoredBytes,
+				cs.Ratio(), cs.DedupHits, cs.DecodeErrors)
+		}
 	}
 }
 

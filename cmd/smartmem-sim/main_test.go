@@ -163,6 +163,66 @@ func TestClusterJSONGolden(t *testing.T) {
 	}
 }
 
+// TestMemoryPressureJSONGolden locks the compressed-tier plumbing
+// end-to-end: the memory-pressure run is deterministic (the tier's codec
+// timing counters stay zero on the simulator's nil page data and are
+// excluded from the document anyway), so its serialized form — including
+// the effective_tmem sample fields and the compressed_tier result block —
+// must be byte-identical run over run. Regenerate with:
+//
+//	go test ./cmd/smartmem-sim -args -update
+func TestMemoryPressureJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "memory-pressure", "-policy", "smart-alloc:P=2", "-seed", "11", "-json", "-"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+
+	var doc struct {
+		Schema string           `json:"schema"`
+		Events []map[string]any `json:"events"`
+		Result map[string]any   `json:"result"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	ct, _ := doc.Result["compressed_tier"].(map[string]any)
+	if ct == nil {
+		t.Fatal("result lacks the compressed_tier block")
+	}
+	if ratio, _ := ct["ratio"].(float64); ratio < 2 {
+		t.Errorf("serialized compression ratio = %v, want >= 2", ct["ratio"])
+	}
+	effSeen := false
+	for _, e := range doc.Events {
+		if e["event"] == "sample-tick" && e["effective_tmem"] != nil {
+			effSeen = true
+			break
+		}
+	}
+	if !effSeen {
+		t.Error("no sample-tick carried effective_tmem")
+	}
+
+	golden := filepath.Join("testdata", "memory_pressure_smart_alloc_seed11.json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -args -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden (%d bytes vs %d); rerun with -args -update if intended",
+			out.Len(), len(want))
+	}
+}
+
 // TestListPolicies guards the policy-registry listing flag.
 func TestListPolicies(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -87,6 +87,14 @@ type Config struct {
 	StartJitter sim.Duration
 	// Store selects the page-content backend (default StoreMeta).
 	Store StoreKind
+	// CompressBytes, when positive, attaches a CompressedTier of that slab
+	// arena budget below the local store (tier 1, ahead of any remote
+	// tier): pages demoted off the frame pool compress and dedup in RAM
+	// instead of costing a disk or network op. Zero disables compression.
+	CompressBytes mem.Bytes
+	// CompressCodec selects the compression codec ("lz", "nocompress");
+	// empty means "lz". Only meaningful with CompressBytes > 0.
+	CompressCodec string
 	// Cleancache additionally attaches an ephemeral cleancache pool to
 	// every guest (the evaluation uses frontswap only; see §VI).
 	Cleancache bool
@@ -166,6 +174,14 @@ func (c Config) normalize() (Config, error) {
 	case StoreMeta, StoreData, StoreCompress:
 	default:
 		return c, fmt.Errorf("core: unknown store kind %q", c.Store)
+	}
+	if c.CompressBytes < 0 {
+		return c, fmt.Errorf("core: negative compressed-tier capacity %d", c.CompressBytes)
+	}
+	if c.CompressBytes > 0 {
+		if _, err := tmem.CodecByName(c.CompressCodec); err != nil {
+			return c, fmt.Errorf("core: %v", err)
+		}
 	}
 	if len(c.VMs) == 0 {
 		return c, fmt.Errorf("core: no VMs configured")

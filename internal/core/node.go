@@ -50,6 +50,9 @@ type NodeResult struct {
 	// Remote summarizes the node's outbound remote tmem tier (nil when the
 	// cluster ran without remote tmem).
 	Remote *tmem.TierStats
+	// Compressed summarizes the node's compressed tier (nil when the node
+	// ran without one).
+	Compressed *tmem.CompressedTierStats
 }
 
 // Result is the outcome of a node (or cluster) run.
@@ -87,6 +90,9 @@ type Result struct {
 	// DiskOps / DiskBusy summarize host-disk traffic (summed).
 	DiskOps  uint64
 	DiskBusy sim.Duration
+	// Compressed summarizes the compressed tier(s) when Config.CompressBytes
+	// was set (summed across nodes in a cluster); nil otherwise.
+	Compressed *tmem.CompressedTierStats
 }
 
 // RunsFor returns the run durations, in completion order, whose VM and
@@ -195,12 +201,13 @@ type nodeRuntime struct {
 	tag    string // "n<i>" in a cluster, "" single-node
 	prefix string // "n<i>/" in a cluster, "" single-node
 
-	backend *tmem.Backend
-	remote  *tmem.RemoteTier // outbound overflow tier (clusters only)
-	host    *vdisk.Host
-	vms     []*vmRuntime
-	names   vmNames
-	em      *emitter
+	backend  *tmem.Backend
+	compress *tmem.CompressedTier // in-RAM compressed tier (CompressBytes > 0)
+	remote   *tmem.RemoteTier     // outbound overflow tier (clusters only)
+	host     *vdisk.Host
+	vms      []*vmRuntime
+	names    vmNames
+	em       *emitter
 
 	remaining   int
 	sampleTicks uint64
@@ -214,6 +221,21 @@ func newNodeRuntime(cfg Config, tag, prefix string) *nodeRuntime {
 	n := &nodeRuntime{cfg: cfg, tag: tag, prefix: prefix}
 	if cfg.TmemEnabled {
 		n.backend = tmem.NewBackend(mem.PagesIn(cfg.TmemBytes, cfg.PageSize), cfg.newStore())
+		if cfg.CompressBytes > 0 {
+			// Attached here, before any cluster remote-tier wiring, so the
+			// compressed tier is tier 1 and demotions compress before they
+			// cross the network.
+			codec, err := tmem.CodecByName(cfg.CompressCodec)
+			if err != nil {
+				panic(err) // normalize validated the name
+			}
+			n.compress = tmem.NewCompressedTier(tmem.CompressedTierConfig{
+				PageSize:      int(cfg.PageSize),
+				CapacityBytes: cfg.CompressBytes,
+				Codec:         codec,
+			})
+			n.backend.AttachTier(n.compress)
+		}
 	}
 	n.names = newVMNames(cfg, prefix)
 	return n
@@ -372,7 +394,18 @@ func (n *nodeRuntime) finalize(res *Result) error {
 			s := n.remote.Stats()
 			nr.Remote = &s
 		}
+		if n.compress != nil {
+			s := n.compress.CompressedStats()
+			nr.Compressed = &s
+		}
 		res.Nodes = append(res.Nodes, nr)
+	}
+
+	if n.compress != nil {
+		if res.Compressed == nil {
+			res.Compressed = &tmem.CompressedTierStats{}
+		}
+		res.Compressed.Add(n.compress.CompressedStats())
 	}
 
 	if n.backend != nil {

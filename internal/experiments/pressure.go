@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"smartmem/internal/core"
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/workload"
+)
+
+// MemoryPressureScenario is the compressed-tier showcase: the remote-heavy
+// donor node — three usemem VMs heavily oversubscribing 96 MiB of tmem —
+// run single-node with a 64 MiB compressed tier attached instead of a peer.
+// Demotions that the plain scale recipe sends to the guests' virtual disks
+// compress and dedup in RAM (usemem's pages are highly repetitive, so the
+// tier's effective capacity multiplies), and the policies allocate against
+// the amplified capacity through MemStats.EffectiveTmem. Comparing its disk
+// ops against the same build with CompressBytes zeroed isolates the
+// compression win; TestMemoryPressureDefersDiskSwap pins it.
+var MemoryPressureScenario = NewScenario(Scenario{
+	Name: "Memory Pressure",
+	Slug: "memory-pressure",
+	Description: "3 usemem VMs (512MB RAM each) vs 96MiB of tmem plus a " +
+		"64MiB compressed+deduped in-RAM tier: demotions compress instead of " +
+		"hitting the virtual disk. Stops after 2 full traversals per VM.",
+	TmemBytes: 96 * mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Memory-pressure",
+	SeriesFigure: "Memory-pressure series",
+	RunLabels: []string{
+		workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+		workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+	},
+}, func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
+	cfg := usememClusterNode(seed, pol, tmemOn, 3, 96*mem.MiB, 2)
+	if tmemOn {
+		cfg.CompressBytes = 64 * mem.MiB
+	}
+	return cfg
+})

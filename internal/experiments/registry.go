@@ -140,4 +140,6 @@ func init() {
 	Register(Cluster2Scenario)
 	Register(RemoteHeavyScenario)
 	Register(NodeImbalanceScenario)
+	// Compressed-tier scenario (in-RAM compression + dedup).
+	Register(MemoryPressureScenario)
 }

@@ -53,7 +53,7 @@ func (StaticAlloc) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
 	if n == 0 {
 		return nil
 	}
-	share := ms.TotalTmem / mem.Pages(n)
+	share := ms.EffectiveTotal() / mem.Pages(n)
 	out := make([]tmem.TargetUpdate, 0, n)
 	for _, v := range ms.VMs {
 		out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: share})
@@ -94,7 +94,7 @@ func (ReconfStatic) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
 	}
 	// Algorithm 3 lines 11–15: every VM is assigned the active share
 	// (inactive VMs never put, so the share is only consumed by actives).
-	share := ms.TotalTmem / mem.Pages(active)
+	share := ms.EffectiveTotal() / mem.Pages(active)
 	for _, v := range ms.VMs {
 		out = append(out, tmem.TargetUpdate{ID: v.ID, MMTarget: share})
 	}
@@ -134,7 +134,10 @@ func (p SmartAlloc) Targets(ms tmem.MemStats) []tmem.TargetUpdate {
 	if n == 0 {
 		return nil
 	}
-	total := ms.TotalTmem
+	// Allocate against effective capacity: with a compressed tier attached
+	// the node can absorb more pages than it has raw frames, and the raised
+	// targets are what let overflow land there instead of on disk.
+	total := ms.EffectiveTotal()
 	threshold := p.Threshold
 	if threshold <= 0 {
 		threshold = mem.Pages(DefaultThresholdFraction * float64(total))

@@ -1,0 +1,297 @@
+package tmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the pluggable page codec of the compressed tier
+// (compressed.go): an LZ-class byte-oriented compressor written for the
+// fixed-size-page workload (encode appends, decode fills a caller buffer,
+// neither allocates once scratch is warm), plus a pass-through codec for
+// ablations and codec-cost measurements. Every encoding is self-describing
+// — the first byte tags the block format — so a stored blob can always be
+// decoded without out-of-band metadata, and a corrupted or truncated blob
+// is rejected with an error instead of producing garbage page contents.
+
+// Codec compresses and decompresses page-sized buffers for the compressed
+// tier. Encode/Decode may use internal scratch state, so a Codec value is
+// NOT safe for concurrent use unless documented otherwise — the compressed
+// tier serializes codec calls under its own lock.
+type Codec interface {
+	// Name identifies the codec ("lz", "nocompress").
+	Name() string
+	// MaxEncodedLen bounds the encoded size of an n-byte input.
+	MaxEncodedLen(n int) int
+	// Encode appends the encoded form of src to dst and returns the
+	// extended slice. The encoding never exceeds MaxEncodedLen(len(src))
+	// appended bytes: incompressible input falls back to a tagged verbatim
+	// block.
+	Encode(dst, src []byte) []byte
+	// Decode decompresses an encoded block into dst and returns the number
+	// of bytes written. It returns an error — never panics, never writes
+	// partial garbage beyond the returned count — on truncated input,
+	// unknown tags, malformed token streams or output exceeding len(dst).
+	Decode(dst, src []byte) (int, error)
+}
+
+// Block format tags (first byte of every encoding).
+const (
+	blockRaw byte = 0x00 // verbatim payload follows
+	blockLZ  byte = 0x01 // LZ token stream follows
+)
+
+// LZ token stream opcodes.
+const (
+	tokLit   byte = 0x00 // u16 length, then that many literal bytes
+	tokMatch byte = 0x01 // u16 offset, u16 length: copy from output history
+)
+
+// Codec decode errors. Wrapped with position context by the LZ decoder.
+var (
+	errCodecTruncated = errors.New("tmem: codec: truncated block")
+	errCodecTag       = errors.New("tmem: codec: unknown block tag")
+	errCodecToken     = errors.New("tmem: codec: malformed token stream")
+	errCodecOverflow  = errors.New("tmem: codec: decoded output exceeds buffer")
+)
+
+// CodecByName resolves a codec by name; the empty name selects the
+// default LZ codec. Each call returns a fresh instance (codecs carry
+// per-instance scratch and are not concurrency-safe).
+func CodecByName(name string) (Codec, error) {
+	switch name {
+	case "", "lz":
+		return NewLZCodec(), nil
+	case "nocompress":
+		return NoCompress{}, nil
+	default:
+		return nil, fmt.Errorf("tmem: unknown codec %q (have lz, nocompress)", name)
+	}
+}
+
+// CodecNames lists the registered codec names for CLI help text.
+func CodecNames() []string { return []string{"lz", "nocompress"} }
+
+// --- NoCompress ---
+
+// NoCompress stores pages verbatim behind the block-tag framing: the
+// fallback codec for ablations (measure dedup alone) and for hosts where
+// codec CPU is the scarce resource. Stateless and safe for concurrent use.
+type NoCompress struct{}
+
+// Name implements Codec.
+func (NoCompress) Name() string { return "nocompress" }
+
+// MaxEncodedLen implements Codec.
+func (NoCompress) MaxEncodedLen(n int) int { return 1 + n }
+
+// Encode implements Codec.
+func (NoCompress) Encode(dst, src []byte) []byte {
+	dst = append(dst, blockRaw)
+	return append(dst, src...)
+}
+
+// Decode implements Codec. It accepts only verbatim blocks.
+func (NoCompress) Decode(dst, src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, errCodecTruncated
+	}
+	if src[0] != blockRaw {
+		return 0, fmt.Errorf("%w: 0x%02x", errCodecTag, src[0])
+	}
+	payload := src[1:]
+	if len(payload) > len(dst) {
+		return 0, errCodecOverflow
+	}
+	return copy(dst, payload), nil
+}
+
+// --- LZ codec ---
+
+// lzHashBits sizes the match-finder hash table: 8K entries cover a 64 KiB
+// page densely enough for the guest-page entropy mix without blowing the
+// L1 cache.
+const (
+	lzHashBits = 13
+	lzMinMatch = 4
+	lzMaxU16   = 0xFFFF
+)
+
+// LZCodec is a byte-oriented LZ77-family compressor tuned for page-sized
+// inputs: greedy hash-table match finding over the raw window, u16
+// offset/length tokens (matches may overlap their own output, so runs
+// compress to a few bytes), and a verbatim fallback when the token stream
+// would not beat raw storage. It holds per-instance scratch (the hash
+// table) and is not safe for concurrent use.
+type LZCodec struct {
+	// table maps 4-byte-sequence hashes to position+1 in the current src
+	// (0 = empty); cleared per Encode call.
+	table [1 << lzHashBits]int32
+}
+
+// NewLZCodec returns a fresh LZ codec instance.
+func NewLZCodec() *LZCodec { return &LZCodec{} }
+
+// Name implements Codec.
+func (c *LZCodec) Name() string { return "lz" }
+
+// MaxEncodedLen implements Codec: the fallback path guarantees tag+verbatim.
+func (c *LZCodec) MaxEncodedLen(n int) int { return 1 + n }
+
+func lzHash(b []byte) uint32 {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// Encode implements Codec.
+func (c *LZCodec) Encode(dst, src []byte) []byte {
+	start := len(dst)
+	if len(src) < 2*lzMinMatch {
+		return NoCompress{}.Encode(dst, src)
+	}
+	clear(c.table[:])
+	out := append(dst, blockLZ)
+	// Abort to the verbatim fallback the moment the stream stops beating it.
+	rawSize := 1 + len(src)
+	anchor := 0
+	end := len(src) - lzMinMatch
+	for i := 0; i <= end; {
+		h := lzHash(src[i:])
+		cand := int(c.table[h]) - 1
+		c.table[h] = int32(i + 1)
+		if cand < 0 || i-cand > lzMaxU16 ||
+			src[cand] != src[i] || src[cand+1] != src[i+1] ||
+			src[cand+2] != src[i+2] || src[cand+3] != src[i+3] {
+			i++
+			continue
+		}
+		mlen := lzMinMatch
+		for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+			mlen++
+		}
+		out = lzAppendLiterals(out, src[anchor:i])
+		out = lzAppendMatch(out, i-cand, mlen)
+		anchor = i + mlen
+		i = anchor
+		if len(out)-start >= rawSize {
+			return NoCompress{}.Encode(dst[:start], src)
+		}
+	}
+	out = lzAppendLiterals(out, src[anchor:])
+	if len(out)-start >= rawSize {
+		return NoCompress{}.Encode(dst[:start], src)
+	}
+	return out
+}
+
+// lzAppendLiterals emits a literal run, split at the u16 length limit.
+func lzAppendLiterals(out, lits []byte) []byte {
+	for len(lits) > 0 {
+		n := len(lits)
+		if n > lzMaxU16 {
+			n = lzMaxU16
+		}
+		out = append(out, tokLit, byte(n>>8), byte(n))
+		out = append(out, lits[:n]...)
+		lits = lits[n:]
+	}
+	return out
+}
+
+// lzAppendMatch emits a match of mlen bytes at back-offset off, split at
+// the u16 length limit. Continuation chunks keep the same offset: the
+// output cursor and the source cursor advance in lockstep, so the relative
+// distance is invariant (and off < mlen legally encodes a repeating run).
+func lzAppendMatch(out []byte, off, mlen int) []byte {
+	for mlen > 0 {
+		n := mlen
+		if n > lzMaxU16 {
+			n = lzMaxU16
+		}
+		out = append(out, tokMatch, byte(off>>8), byte(off), byte(n>>8), byte(n))
+		mlen -= n
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (c *LZCodec) Decode(dst, src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, errCodecTruncated
+	}
+	switch src[0] {
+	case blockRaw:
+		return NoCompress{}.Decode(dst, src)
+	case blockLZ:
+	default:
+		return 0, fmt.Errorf("%w: 0x%02x", errCodecTag, src[0])
+	}
+	n := 0
+	for p := 1; p < len(src); {
+		switch src[p] {
+		case tokLit:
+			if p+3 > len(src) {
+				return 0, errCodecTruncated
+			}
+			l := int(src[p+1])<<8 | int(src[p+2])
+			p += 3
+			if l == 0 {
+				return 0, errCodecToken
+			}
+			if p+l > len(src) {
+				return 0, errCodecTruncated
+			}
+			if n+l > len(dst) {
+				return 0, errCodecOverflow
+			}
+			copy(dst[n:], src[p:p+l])
+			n += l
+			p += l
+		case tokMatch:
+			if p+5 > len(src) {
+				return 0, errCodecTruncated
+			}
+			off := int(src[p+1])<<8 | int(src[p+2])
+			l := int(src[p+3])<<8 | int(src[p+4])
+			p += 5
+			if off == 0 || off > n || l == 0 {
+				return 0, errCodecToken
+			}
+			if n+l > len(dst) {
+				return 0, errCodecOverflow
+			}
+			// Byte-at-a-time forward copy: an off < l match legally
+			// replicates its own output (run-length encoding).
+			pos := n - off
+			for k := 0; k < l; k++ {
+				dst[n+k] = dst[pos+k]
+			}
+			n += l
+		default:
+			return 0, fmt.Errorf("%w: opcode 0x%02x", errCodecToken, src[p])
+		}
+	}
+	return n, nil
+}
+
+// hashBlob returns a well-mixed 64-bit content hash of an encoded blob
+// (FNV-1a folded through the splitmix64 finalizer), the dedup-index key of
+// the compressed tier.
+func hashBlob(b []byte) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return mix64(h)
+}
+
+// Compile-time interface checks.
+var (
+	_ Codec = NoCompress{}
+	_ Codec = (*LZCodec)(nil)
+)

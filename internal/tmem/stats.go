@@ -44,6 +44,11 @@ type MemStats struct {
 	TotalTmem mem.Pages
 	// FreeTmem is node_info.free_tmem at sampling time.
 	FreeTmem mem.Pages
+	// EffectiveTmem is the capacity policies should allocate against when a
+	// capacity-amplifying tier (the compressed tier) is attached: TotalTmem
+	// plus the extra pages the tier can absorb at its observed compression
+	// ratio. Zero means "no amplification" — read through EffectiveTotal.
+	EffectiveTmem mem.Pages
 	// VMs holds one entry per registered VM, ascending by ID
 	// (memstats.vm_count == len(VMs)).
 	VMs []VMStat
@@ -51,6 +56,17 @@ type MemStats struct {
 
 // VMCount returns memstats.vm_count.
 func (m MemStats) VMCount() int { return len(m.VMs) }
+
+// EffectiveTotal returns the tmem capacity policies should divide among
+// VMs: EffectiveTmem when a capacity amplifier reported one, else
+// TotalTmem. With compression off the two are identical, so policies
+// reading EffectiveTotal behave byte-for-byte like the raw-frame versions.
+func (m MemStats) EffectiveTotal() mem.Pages {
+	if m.EffectiveTmem > m.TotalTmem {
+		return m.EffectiveTmem
+	}
+	return m.TotalTmem
+}
 
 // Find returns the stats entry for a VM, if present.
 func (m MemStats) Find(id VMID) (VMStat, bool) {
@@ -66,6 +82,14 @@ func (m MemStats) Find(id VMID) (VMStat, bool) {
 type TargetUpdate struct {
 	ID       VMID      // mm_out[i].vm_id
 	MMTarget mem.Pages // mm_out[i].mm_target
+}
+
+// capacityAmplifier is an optional Tier refinement: a tier that can absorb
+// pages beyond the node's raw frame count (CompressedTier) reports how many
+// extra pages it can hold, and Sample folds the amplified total into
+// MemStats.EffectiveTmem.
+type capacityAmplifier interface {
+	EffectiveExtraPages() mem.Pages
 }
 
 // Sample snapshots the statistics of Table I and resets the interval
@@ -92,6 +116,16 @@ func (b *Backend) Sample(seq uint64) MemStats {
 		TotalTmem:   b.totalPages,
 		FreeTmem:    b.FreePages(),
 		VMs:         make([]VMStat, 0, len(accounts)),
+	}
+	// Fold in capacity amplification from attached tiers (the compressed
+	// tier): policies then allocate against compressed capacity, not raw
+	// frames. tiersView is the immutable no-lock snapshot.
+	for _, t := range b.tiersView {
+		if amp, ok := t.(capacityAmplifier); ok {
+			if extra := amp.EffectiveExtraPages(); extra > 0 {
+				ms.EffectiveTmem = ms.TotalTmem + extra
+			}
+		}
 	}
 	for _, a := range accounts {
 		ms.VMs = append(ms.VMs, VMStat{
@@ -149,6 +183,7 @@ func (m MemStats) AppendWire(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, m.IntervalSeq)
 	b = binary.BigEndian.AppendUint64(b, uint64(m.TotalTmem))
 	b = binary.BigEndian.AppendUint64(b, uint64(m.FreeTmem))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.EffectiveTmem))
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.VMs)))
 	for _, v := range m.VMs {
 		b = binary.BigEndian.AppendUint32(b, uint32(v.ID))
@@ -161,7 +196,7 @@ func (m MemStats) AppendWire(b []byte) []byte {
 	return b
 }
 
-const memStatsHeaderSize = 8 + 8 + 8 + 4
+const memStatsHeaderSize = 8 + 8 + 8 + 8 + 4
 const vmStatWireSize = 4 + 8*5
 
 // MemStatsFromWire decodes a MemStats encoded with AppendWire and returns
@@ -171,11 +206,12 @@ func MemStatsFromWire(b []byte) (MemStats, int, error) {
 		return MemStats{}, 0, fmt.Errorf("tmem: memstats encoding too short: %d bytes", len(b))
 	}
 	m := MemStats{
-		IntervalSeq: binary.BigEndian.Uint64(b[0:8]),
-		TotalTmem:   mem.Pages(binary.BigEndian.Uint64(b[8:16])),
-		FreeTmem:    mem.Pages(binary.BigEndian.Uint64(b[16:24])),
+		IntervalSeq:   binary.BigEndian.Uint64(b[0:8]),
+		TotalTmem:     mem.Pages(binary.BigEndian.Uint64(b[8:16])),
+		FreeTmem:      mem.Pages(binary.BigEndian.Uint64(b[16:24])),
+		EffectiveTmem: mem.Pages(binary.BigEndian.Uint64(b[24:32])),
 	}
-	n := int(binary.BigEndian.Uint32(b[24:28]))
+	n := int(binary.BigEndian.Uint32(b[32:36]))
 	off := memStatsHeaderSize
 	if len(b) < off+n*vmStatWireSize {
 		return MemStats{}, 0, fmt.Errorf("tmem: memstats encoding truncated: want %d VM entries", n)

@@ -55,6 +55,11 @@ func Encode(e smartmem.Event) map[string]any {
 		m["seq"] = ev.Seq
 		m["free_tmem"] = int64(ev.Stats.FreeTmem)
 		m["total_tmem"] = int64(ev.Stats.TotalTmem)
+		// Emitted only when a capacity-amplifying tier reported one, keeping
+		// compression-off encodings (and the historical goldens) unchanged.
+		if ev.Stats.EffectiveTmem != 0 {
+			m["effective_tmem"] = int64(ev.Stats.EffectiveTmem)
+		}
 		vms := make([]map[string]any, 0, len(ev.Stats.VMs))
 		for _, v := range ev.Stats.VMs {
 			vms = append(vms, map[string]any{
@@ -106,6 +111,29 @@ func encodeTarget(p mem.Pages) int64 {
 // formatting changes and precise enough for 1 Hz sampling.
 func round(s float64) float64 { return float64(int64(s*1e3+0.5)) / 1e3 }
 
+// encodeCompressed flattens a compressed-tier snapshot. Codec timing
+// counters are deliberately omitted: they are wall-clock measurements, and
+// the result document must stay deterministic for golden comparison.
+func encodeCompressed(s *tmem.CompressedTierStats) map[string]any {
+	return map[string]any{
+		"puts":           s.Puts,
+		"puts_ok":        s.PutsOK,
+		"gets":           s.Gets,
+		"gets_hit":       s.GetsHit,
+		"page_flushes":   s.PageFlushes,
+		"object_flushes": s.ObjectFlushes,
+		"errors":         s.Errors,
+		"pages_stored":   int64(s.PagesStored),
+		"unique_blobs":   s.UniqueBlobs,
+		"raw_bytes":      int64(s.RawBytes),
+		"stored_bytes":   int64(s.StoredBytes),
+		"dedup_hits":     s.DedupHits,
+		"rejected_full":  s.RejectedFull,
+		"decode_errors":  s.DecodeErrors,
+		"ratio":          round(s.Ratio()),
+	}
+}
+
 // EncodeResult flattens a run result into its JSON document form. A nil
 // result encodes as nil (a run that failed before producing anything).
 func EncodeResult(r *smartmem.Result) map[string]any {
@@ -122,6 +150,9 @@ func EncodeResult(r *smartmem.Result) map[string]any {
 		"mm_batches_sent":   r.MMBatchesSent,
 		"disk_ops":          r.DiskOps,
 		"disk_busy_seconds": round(r.DiskBusy.Seconds()),
+	}
+	if r.Compressed != nil {
+		doc["compressed_tier"] = encodeCompressed(r.Compressed)
 	}
 	runs := make([]map[string]any, 0, len(r.Runs))
 	for _, rec := range r.Runs {
@@ -187,6 +218,9 @@ func EncodeResult(r *smartmem.Result) map[string]any {
 					"object_flushes": n.Remote.ObjectFlushes,
 					"errors":         n.Remote.Errors,
 				}
+			}
+			if n.Compressed != nil {
+				nd["compressed_tier"] = encodeCompressed(n.Compressed)
 			}
 			nodes = append(nodes, nd)
 		}
