@@ -40,6 +40,7 @@ bench:
 	$(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
 	$(GO) test -bench 'BenchmarkCompressedTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
 	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore
+	$(GO) test -bench 'BenchmarkWALAppend' -benchtime 1000x -benchmem -run '^$$' ./internal/durable
 
 # Machine-readable benchmark snapshot: runs the same suite as `make bench`
 # and writes BENCH.json (the perf trajectory record; CI uploads it next to
@@ -53,7 +54,8 @@ bench-json:
 	  $(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
 	  $(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
 	  $(GO) test -bench 'BenchmarkCompressedTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
-	  $(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore; } > "$$tmp" || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; \
+	  $(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore && \
+	  $(GO) test -bench 'BenchmarkWALAppend' -benchtime 1000x -benchmem -run '^$$' ./internal/durable; } > "$$tmp" || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; \
 	cat "$$tmp"; \
 	$(GO) run ./cmd/smartmem-benchjson < "$$tmp" > BENCH.json && rm -f "$$tmp" && \
 	echo "wrote BENCH.json"

@@ -28,11 +28,22 @@
 // hits, codec nanoseconds — so the achieved ratio is observable on a
 // running daemon.
 //
+// With -durable the daemon journals every acknowledged persistent-pool
+// mutation to a write-ahead log under the given directory (plus periodic
+// slab snapshots; see internal/durable). On start it recovers the journaled
+// state — pools under their original wire-visible ids, pages through the
+// full tier stack — so a SIGKILL loses nothing acknowledged over the wire.
+// A graceful SIGINT/SIGTERM additionally compacts and writes a
+// clean-shutdown marker so the next start skips the WAL replay. -fsync
+// picks the commit policy: always (fsync per commit, group-committed),
+// interval (background fsync, default), off (benchmarking only).
+//
 // Modes:
 //
 //	smartmem-kvd -listen :7077 -pages 262144 -shards 8   # KV daemon
 //	smartmem-kvd -listen :7077 -remote far:7077          # + remote tier
 //	smartmem-kvd -listen :7077 -compress 256             # + 256 MiB compressed tier
+//	smartmem-kvd -listen :7077 -durable /var/lib/smartmem  # + crash durability
 //	smartmem-kvd -listen :7077 -debug :7079              # + expvar counters
 //	smartmem-kvd -connect :7077 -demo                    # KV client demo
 //	smartmem-kvd -mm :7078 -policy smart-alloc:P=2       # MM daemon (TKM peer)
@@ -53,12 +64,17 @@ import (
 	"syscall"
 	"time"
 
+	"smartmem/internal/durable"
 	"smartmem/internal/kvstore"
 	"smartmem/internal/mem"
 	"smartmem/internal/policy"
 	"smartmem/internal/tkm"
 	"smartmem/internal/tmem"
 )
+
+// The durable write-through store must keep satisfying the wire server's
+// store surface.
+var _ kvstore.Store = (*durable.Store)(nil)
 
 const pageSize = 4096
 
@@ -78,6 +94,8 @@ func main() {
 		remoteVM = flag.Int("remote-owner", 1000, "VM id this node's overflow pages are accounted under on the -remote peer")
 		compress = flag.Int64("compress", 0, "attach a compressed in-RAM tier with this slab arena budget in MiB (0 disables)")
 		codec    = flag.String("codec", "lz", "compressed-tier codec (lz, nocompress)")
+		durDir   = flag.String("durable", "", "journal persistent pools to a WAL + snapshots under this directory and recover them on start")
+		fsyncStr = flag.String("fsync", "interval", "durable commit policy: always, interval or off")
 		debug    = flag.String("debug", "", "serve expvar debug counters (JSON over HTTP) on this address in -listen mode")
 		demo     = flag.Bool("demo", false, "run put/get/flush round trips in -connect mode")
 	)
@@ -101,7 +119,9 @@ func main() {
 			fmt.Printf("smartmem-kvd: compressed tier: %d MiB arena, codec %s\n", *compress, c.Name())
 		}
 		if *remote != "" {
-			conn, err := net.Dial("tcp", *remote)
+			// A bounded retry covers the window where the peer daemon is
+			// itself restarting (e.g. recovering its durable state).
+			conn, err := kvstore.DialRetry("tcp", *remote, 10, 200*time.Millisecond)
 			fatalIf(err)
 			// All connection handlers funnel overflow into this one wire
 			// client; SyncClient serializes the request/response exchanges.
@@ -109,12 +129,21 @@ func main() {
 			backend.AttachTier(tmem.NewRemoteTier("kvd:"+*remote, svc, tmem.VMID(*remoteVM)))
 			fmt.Printf("smartmem-kvd: remote tmem tier -> %s (owner vm %d)\n", *remote, *remoteVM)
 		}
+		node := kvNode{store: backend, backend: backend}
+		if *durDir != "" {
+			// Recovery runs after the tier stack is assembled so journaled
+			// pages land back through the same demotion path they used live.
+			fp, err := durable.ParseFsync(*fsyncStr)
+			fatalIf(err)
+			node, err = openDurable(backend, *durDir, fp, os.Stdout)
+			fatalIf(err)
+		}
 		l, err := net.Listen("tcp", *listen)
 		fatalIf(err)
 		if *debug != "" {
 			dl, err := net.Listen("tcp", *debug)
 			fatalIf(err)
-			publishDebugVars(backend)
+			publishDebugVars(node)
 			go func() { fatalIf(http.Serve(dl, expvar.Handler())) }()
 			fmt.Printf("smartmem-kvd: debug counters on http://%s/\n", dl.Addr())
 		}
@@ -122,7 +151,7 @@ func main() {
 			*pages, backend.Shards(), l.Addr())
 		sigs := make(chan os.Signal, 1)
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		fatalIf(serveKV(l, backend, sigs, drainTimeout, os.Stdout))
+		fatalIf(serveKV(l, node, sigs, drainTimeout, os.Stdout))
 
 	case *mmAddr != "":
 		// Parse the policy spec exactly once. The parsed policies are
@@ -164,11 +193,63 @@ func newBackend(pages mem.Pages, shards int) *tmem.Backend {
 	})
 }
 
+// kvNode bundles what a serving daemon is made of: the store the wire
+// protocol executes against (the bare backend, or the durable write-through
+// wrapper around it) plus the durable pieces when -durable is on.
+type kvNode struct {
+	store   kvstore.Store
+	backend *tmem.Backend
+	dlog    *durable.Log   // nil without -durable
+	dstore  *durable.Store // nil without -durable
+}
+
+// openDurable opens (and recovers) the journal under dir and wraps backend
+// in the write-through store. The recovery summary is printed to out.
+func openDurable(backend *tmem.Backend, dir string, fp durable.FsyncPolicy, out io.Writer) (kvNode, error) {
+	blob, err := durable.NewDirStore(dir)
+	if err != nil {
+		return kvNode{}, err
+	}
+	dlog, err := durable.Open(durable.Options{
+		Blob:     blob,
+		PageSize: pageSize,
+		Fsync:    fp,
+	})
+	if err != nil {
+		return kvNode{}, err
+	}
+	dstore := durable.NewStore(backend, dlog)
+	rs, err := dstore.Recover()
+	if err != nil {
+		dlog.Close()
+		return kvNode{}, err
+	}
+	ri := dlog.Recovery()
+	boot := "replayed WAL"
+	switch {
+	case ri.CleanShutdown:
+		boot = "clean shutdown marker: skipped WAL replay"
+	case ri.SnapshotLoaded:
+		boot = fmt.Sprintf("snapshot %d (%d pages) + WAL tail", ri.SnapshotSeq, ri.SnapshotPages)
+	}
+	fmt.Fprintf(out, "smartmem-kvd: durable store %s (fsync=%s): %s; %d segments, %d records\n",
+		dir, fp, boot, ri.WALSegments, ri.WALRecords)
+	if ri.TornTail || ri.CorruptRecords > 0 {
+		fmt.Fprintf(out, "smartmem-kvd: durable recovery repaired the log (torn tail: %v, corrupt records: %d)\n",
+			ri.TornTail, ri.CorruptRecords)
+	}
+	fmt.Fprintf(out, "smartmem-kvd: recovered %d pools, %d pages (%d beyond capacity, served from mirror)\n",
+		rs.Pools, rs.Pages, rs.Dropped)
+	return kvNode{store: dstore, backend: backend, dlog: dlog, dstore: dstore}, nil
+}
+
 // serveKV serves the KV protocol on l until a shutdown signal arrives,
 // then drains connections (forcing stragglers closed after drain) and
-// prints the final store statistics.
-func serveKV(l net.Listener, backend *tmem.Backend, sigs <-chan os.Signal, drain time.Duration, out io.Writer) error {
-	srv := kvstore.NewServer(backend)
+// prints the final store statistics. With a durable journal attached the
+// graceful path also compacts and writes the clean-shutdown marker, so the
+// next start skips the WAL replay.
+func serveKV(l net.Listener, node kvNode, sigs <-chan os.Signal, drain time.Duration, out io.Writer) error {
+	srv := kvstore.NewServerStore(node.store)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -184,8 +265,28 @@ func serveKV(l net.Listener, backend *tmem.Backend, sigs <-chan os.Signal, drain
 		if err := <-errc; err != nil {
 			return err
 		}
-		printFinalStats(out, backend)
+		printFinalStats(out, node.backend)
+		if node.dlog != nil {
+			printDurableStats(out, node)
+			if err := node.dlog.CloseClean(); err != nil {
+				fmt.Fprintf(out, "smartmem-kvd: durable clean shutdown failed (next start replays the WAL): %v\n", err)
+			} else {
+				fmt.Fprintln(out, "smartmem-kvd: durable state compacted, clean shutdown marker written")
+			}
+		}
 		return nil
+	}
+}
+
+// printDurableStats reports the journal's end state on shutdown.
+func printDurableStats(w io.Writer, node kvNode) {
+	ls := node.dlog.Stats()
+	fmt.Fprintf(w, "smartmem-kvd:   durable: %d pages (%v) in %d pools; %d appends (%v), %d fsyncs, %d compactions, degraded %v\n",
+		ls.PagesLive, mem.Bytes(ls.BytesLive), ls.Pools,
+		ls.Appends, mem.Bytes(ls.AppendedBytes), ls.Fsyncs, ls.Compactions,
+		node.dstore.Degraded())
+	if n := node.dstore.RecoveryServed(); n > 0 {
+		fmt.Fprintf(w, "smartmem-kvd:   durable: %d gets served from the recovery mirror\n", n)
 	}
 }
 
@@ -193,8 +294,10 @@ func serveKV(l net.Listener, backend *tmem.Backend, sigs <-chan os.Signal, drain
 // "smartmem" expvar key. The snapshot is taken on every HTTP request, so
 // the served JSON always reflects the store and its tiers at that moment —
 // including compressed-tier detail (stored vs raw bytes, dedup hits, codec
-// nanoseconds) when a -compress tier is attached.
-func publishDebugVars(b *tmem.Backend) {
+// nanoseconds) when a -compress tier is attached, and WAL/snapshot/recovery
+// counters when -durable is on.
+func publishDebugVars(node kvNode) {
+	b := node.backend
 	expvar.Publish("smartmem", expvar.Func(func() any {
 		used := b.TotalPages() - b.FreePages()
 		doc := map[string]any{
@@ -230,6 +333,29 @@ func publishDebugVars(b *tmem.Backend) {
 			tiers = append(tiers, m)
 		}
 		doc["tiers"] = tiers
+		if node.dlog != nil {
+			ls := node.dlog.Stats()
+			ri := node.dlog.Recovery()
+			doc["durable"] = map[string]any{
+				"wal_appends":       ls.Appends,
+				"wal_bytes":         ls.AppendedBytes,
+				"fsyncs":            ls.Fsyncs,
+				"segments":          ls.Segments,
+				"compactions":       ls.Compactions,
+				"snapshot_pages":    ls.SnapshotPages,
+				"pools":             ls.Pools,
+				"pages_live":        ls.PagesLive,
+				"bytes_live":        ls.BytesLive,
+				"errors":            ls.Errors,
+				"degraded":          node.dstore.Degraded(),
+				"recovery_served":   node.dstore.RecoveryServed(),
+				"recovery_clean":    ri.CleanShutdown,
+				"recovery_snapshot": ri.SnapshotLoaded,
+				"recovery_records":  ri.WALRecords,
+				"recovery_torn":     ri.TornTail,
+				"recovery_corrupt":  ri.CorruptRecords,
+			}
+		}
 		return doc
 	}))
 }

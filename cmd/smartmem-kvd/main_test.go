@@ -42,7 +42,7 @@ func TestKVDaemonEndToEnd(t *testing.T) {
 	sigs := make(chan os.Signal, 1)
 	var out bytes.Buffer
 	served := make(chan error, 1)
-	go func() { served <- serveKV(l, backend, sigs, time.Second, &out) }()
+	go func() { served <- serveKV(l, kvNode{store: backend, backend: backend}, sigs, time.Second, &out) }()
 
 	const clients = 4
 	var wg sync.WaitGroup
@@ -137,7 +137,9 @@ func TestKVDaemonForcedDrain(t *testing.T) {
 	sigs := make(chan os.Signal, 1)
 	var out bytes.Buffer
 	served := make(chan error, 1)
-	go func() { served <- serveKV(l, backend, sigs, 50*time.Millisecond, &out) }()
+	go func() {
+		served <- serveKV(l, kvNode{store: backend, backend: backend}, sigs, 50*time.Millisecond, &out)
+	}()
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {
@@ -185,7 +187,9 @@ func TestChainedDaemonsRemoteTier(t *testing.T) {
 	var peerOut, frontOut bytes.Buffer
 	peerServed := make(chan error, 1)
 	frontServed := make(chan error, 1)
-	go func() { peerServed <- serveKV(peerL, peerBackend, peerSigs, time.Second, &peerOut) }()
+	go func() {
+		peerServed <- serveKV(peerL, kvNode{store: peerBackend, backend: peerBackend}, peerSigs, time.Second, &peerOut)
+	}()
 
 	// Wire the front daemon's remote tier exactly like -remote does: one
 	// wire client shared by every connection handler, serialized by
@@ -196,7 +200,9 @@ func TestChainedDaemonsRemoteTier(t *testing.T) {
 	}
 	svc := kvstore.NewSyncClient(kvstore.NewClient(conn, pageSize))
 	frontBackend.AttachTier(tmem.NewRemoteTier("kvd-peer", svc, 1000))
-	go func() { frontServed <- serveKV(frontL, frontBackend, frontSigs, time.Second, &frontOut) }()
+	go func() {
+		frontServed <- serveKV(frontL, kvNode{store: frontBackend, backend: frontBackend}, frontSigs, time.Second, &frontOut)
+	}()
 
 	// Several concurrent clients overflow through the single shared wire
 	// client first; frame interleaving on the peer conn would corrupt the
@@ -310,7 +316,7 @@ func TestKVDaemonBatchFrames(t *testing.T) {
 	sigs := make(chan os.Signal, 1)
 	var out bytes.Buffer
 	served := make(chan error, 1)
-	go func() { served <- serveKV(l, backend, sigs, time.Second, &out) }()
+	go func() { served <- serveKV(l, kvNode{store: backend, backend: backend}, sigs, time.Second, &out) }()
 
 	const clients = 4
 	const run = 48

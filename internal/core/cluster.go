@@ -108,7 +108,11 @@ func RunClusterWith(ctx context.Context, cc ClusterConfig, obs Observer) (*Resul
 	nodes := make([]*nodeRuntime, len(cfgs))
 	for i, cfg := range cfgs {
 		tag := fmt.Sprintf("n%d", i)
-		nodes[i] = newNodeRuntime(cfg, tag, tag+"/")
+		n, err := newNodeRuntime(cfg, tag, tag+"/")
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
 	}
 
 	// Peer-to-peer tier wiring: node i's overflow lands in node (i+1)%N's

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"smartmem/internal/durable"
 	"smartmem/internal/mem"
 	"smartmem/internal/policy"
 	"smartmem/internal/sim"
@@ -95,6 +96,14 @@ type Config struct {
 	// CompressCodec selects the compression codec ("lz", "nocompress");
 	// empty means "lz". Only meaningful with CompressBytes > 0.
 	CompressCodec string
+	// DurableBlob, when non-nil, attaches a durable tier (WAL + snapshots
+	// into this blob store; see internal/durable) below every other tier:
+	// persistent pages demoted past the RAM tiers are journaled instead of
+	// failing the put. The sim opens the log with deterministic options
+	// (no fsync goroutine, inline compaction), so enabling it does not
+	// perturb the virtual-time schedule. Use durable.NewMemStore() for a
+	// self-contained run or durable.NewDirStore(dir) to persist across runs.
+	DurableBlob durable.BlobStore
 	// Cleancache additionally attaches an ephemeral cleancache pool to
 	// every guest (the evaluation uses frontswap only; see §VI).
 	Cleancache bool

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"smartmem/internal/durable"
 	"smartmem/internal/guest"
 	"smartmem/internal/mem"
 	"smartmem/internal/metrics"
@@ -53,6 +54,9 @@ type NodeResult struct {
 	// Compressed summarizes the node's compressed tier (nil when the node
 	// ran without one).
 	Compressed *tmem.CompressedTierStats
+	// Durable summarizes the node's durable tier and its journal (nil when
+	// the node ran without Config.DurableBlob).
+	Durable *durable.Summary
 }
 
 // Result is the outcome of a node (or cluster) run.
@@ -93,6 +97,9 @@ type Result struct {
 	// Compressed summarizes the compressed tier(s) when Config.CompressBytes
 	// was set (summed across nodes in a cluster); nil otherwise.
 	Compressed *tmem.CompressedTierStats
+	// Durable summarizes the durable tier(s) and their journals when
+	// Config.DurableBlob was set (summed across nodes); nil otherwise.
+	Durable *durable.Summary
 }
 
 // RunsFor returns the run durations, in completion order, whose VM and
@@ -138,7 +145,10 @@ func RunWith(ctx context.Context, cfg Config, obs Observer) (*Result, error) {
 	}
 	cancelled := cancelHook(ctx)
 
-	n := newNodeRuntime(cfg, "", "")
+	n, err := newNodeRuntime(cfg, "", "")
+	if err != nil {
+		return nil, err
+	}
 	n.start(kern, kern.RNG(), obs, res, cancelled)
 
 	runLoop(kern, ctx, cancelled, res)
@@ -204,6 +214,8 @@ type nodeRuntime struct {
 	backend  *tmem.Backend
 	compress *tmem.CompressedTier // in-RAM compressed tier (CompressBytes > 0)
 	remote   *tmem.RemoteTier     // outbound overflow tier (clusters only)
+	dlog     *durable.Log         // journal behind the durable tier (DurableBlob set)
+	dtier    *durable.Tier        // journaling last-resort tier (DurableBlob set)
 	host     *vdisk.Host
 	vms      []*vmRuntime
 	names    vmNames
@@ -217,7 +229,7 @@ type nodeRuntime struct {
 // newNodeRuntime builds the node shell and its backend — the piece peers
 // need a reference to before workloads start, so cluster tier wiring can
 // happen between construction and start.
-func newNodeRuntime(cfg Config, tag, prefix string) *nodeRuntime {
+func newNodeRuntime(cfg Config, tag, prefix string) (*nodeRuntime, error) {
 	n := &nodeRuntime{cfg: cfg, tag: tag, prefix: prefix}
 	if cfg.TmemEnabled {
 		n.backend = tmem.NewBackend(mem.PagesIn(cfg.TmemBytes, cfg.PageSize), cfg.newStore())
@@ -236,9 +248,25 @@ func newNodeRuntime(cfg Config, tag, prefix string) *nodeRuntime {
 			})
 			n.backend.AttachTier(n.compress)
 		}
+		if cfg.DurableBlob != nil {
+			// Deterministic options: no fsync ticker goroutine, compaction
+			// inline on the caller — a durable run consumes the simulation's
+			// random streams exactly like one without the tier.
+			dlog, err := durable.Open(durable.Options{
+				Blob:          cfg.DurableBlob,
+				PageSize:      int(cfg.PageSize),
+				Fsync:         durable.FsyncOff,
+				InlineCompact: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: open durable log: %w", err)
+			}
+			n.dlog = dlog
+			n.dtier = durable.NewTier(prefix+"durable", dlog)
+		}
 	}
 	n.names = newVMNames(cfg, prefix)
-	return n
+	return n, nil
 }
 
 // start spawns the node's processes into kern. The RNG split order — host
@@ -248,6 +276,13 @@ func newNodeRuntime(cfg Config, tag, prefix string) *nodeRuntime {
 // in node order.
 func (n *nodeRuntime) start(kern *sim.Kernel, rng *sim.RNG, obs Observer, res *Result, cancelled func() bool) {
 	cfg := n.cfg
+	if n.dtier != nil {
+		// Attached last — after the compressed tier (construction) and any
+		// cluster remote tier (wired between construction and start) — so
+		// the journal is the true last resort: only persistent pages no RAM
+		// tier could hold pay the durability cost.
+		n.backend.AttachTier(n.dtier)
+	}
 	n.host = vdisk.NewHost(cfg.DiskReadService, cfg.DiskWriteService, cfg.DiskJitter, rng.Split())
 
 	// Built-in figure-series recording rides the same event stream external
@@ -398,6 +433,10 @@ func (n *nodeRuntime) finalize(res *Result) error {
 			s := n.compress.CompressedStats()
 			nr.Compressed = &s
 		}
+		if n.dtier != nil {
+			s := n.dtier.Summary()
+			nr.Durable = &s
+		}
 		res.Nodes = append(res.Nodes, nr)
 	}
 
@@ -406,6 +445,18 @@ func (n *nodeRuntime) finalize(res *Result) error {
 			res.Compressed = &tmem.CompressedTierStats{}
 		}
 		res.Compressed.Add(n.compress.CompressedStats())
+	}
+
+	if n.dtier != nil {
+		if res.Durable == nil {
+			res.Durable = &durable.Summary{}
+		}
+		res.Durable.Add(n.dtier.Summary())
+		// Crash-style close: the journal's value is being reopenable from
+		// the WAL alone, and skipping the graceful compaction keeps the
+		// run's counters independent of shutdown timing. Callers holding
+		// the blob store can durable.Open it again to inspect or resume.
+		n.dlog.Close()
 	}
 
 	if n.backend != nil {

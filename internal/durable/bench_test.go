@@ -1,0 +1,99 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"smartmem/internal/tmem"
+)
+
+// BenchmarkWALAppend measures the journaling hot path: one page put =
+// build record + checksum + append (+ group commit under fsync=always on
+// a real file). The mem variants isolate the codec/locking cost; the dir
+// variants add the kernel write path.
+func BenchmarkWALAppend(b *testing.B) {
+	const pageSize = 4096
+	data := make([]byte, pageSize)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+
+	run := func(name string, mkBlob func(b *testing.B) BlobStore, fsync FsyncPolicy) {
+		b.Run(name, func(b *testing.B) {
+			opts := Options{
+				Blob:          mkBlob(b),
+				PageSize:      pageSize,
+				Fsync:         fsync,
+				InlineCompact: true,
+				CompactBytes:  -1,
+			}
+			l, err := Open(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			if err := l.NewPool(0, 1, tmem.Persistent); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(pageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := tmem.Key{Pool: 0, Object: tmem.ObjectID(i >> 16), Index: tmem.PageIndex(i)}
+				if err := l.Put(k, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	memBlob := func(b *testing.B) BlobStore { return NewMemStore() }
+	dirBlob := func(b *testing.B) BlobStore {
+		d, err := NewDirStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	run("mem-nofsync", memBlob, FsyncOff)
+	run("dir-nofsync", dirBlob, FsyncOff)
+	run("dir-fsync-always", dirBlob, FsyncAlways)
+}
+
+// BenchmarkWALAppendBatch measures the batched group-commit path.
+func BenchmarkWALAppendBatch(b *testing.B) {
+	const pageSize = 4096
+	for _, batch := range []int{16, 256} {
+		b.Run(fmt.Sprintf("mem-batch-%d", batch), func(b *testing.B) {
+			l, err := Open(Options{
+				Blob:          NewMemStore(),
+				PageSize:      pageSize,
+				Fsync:         FsyncOff,
+				InlineCompact: true,
+				CompactBytes:  -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			if err := l.NewPool(0, 1, tmem.Persistent); err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]tmem.Key, batch)
+			datas := make([][]byte, batch)
+			data := make([]byte, pageSize)
+			for i := range datas {
+				datas[i] = data
+			}
+			b.SetBytes(int64(pageSize * batch))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range keys {
+					keys[j] = tmem.Key{Pool: 0, Object: tmem.ObjectID(i), Index: tmem.PageIndex(j)}
+				}
+				if err := l.PutBatch(keys, datas); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,254 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smartmem/internal/tmem"
+)
+
+// Snapshot layout. A compaction folds the live mirror into slab blobs
+// under snapshot/<seq, 16 hex>/:
+//
+//	snapshot/<seq>/0000.slab ... NNNN.slab   records (same codec as the WAL)
+//	snapshot/<seq>/MANIFEST                  JSON, written last
+//
+// <seq> is the WAL resume point: the snapshot plus every WAL segment with
+// sequence >= <seq> reconstructs the full state. The MANIFEST is written
+// after all slabs (and the blob Put is atomic), so a crash mid-snapshot
+// leaves no MANIFEST and recovery simply uses the previous snapshot.
+//
+// CLEAN is a root-level marker a graceful shutdown writes after a final
+// compaction; a boot that finds it pointing at the newest snapshot skips
+// the WAL scan entirely (warm restart) and deletes the marker before
+// serving, so a later crash is detected as such.
+
+const (
+	snapshotPrefix = "snapshot/"
+	manifestName   = "MANIFEST"
+	cleanKey       = "CLEAN"
+)
+
+type manifest struct {
+	// WALResume is the first WAL segment sequence to replay on top.
+	WALResume uint64 `json:"wal_resume"`
+	// Slabs is the number of slab blobs in the snapshot directory.
+	Slabs int `json:"slabs"`
+	// Pools / Pages / Bytes describe the snapshotted state (informational).
+	Pools int    `json:"pools"`
+	Pages uint64 `json:"pages"`
+	Bytes uint64 `json:"bytes"`
+}
+
+type cleanMarker struct {
+	// Snapshot is the snapshot sequence the marker vouches for.
+	Snapshot uint64 `json:"snapshot"`
+}
+
+func snapshotDir(seq uint64) string { return fmt.Sprintf("snapshot/%016x", seq) }
+
+func slabKey(seq uint64, i int) string {
+	return fmt.Sprintf("%s/%04d.slab", snapshotDir(seq), i)
+}
+
+// snapshotSeq extracts the sequence from a key under snapshot/.
+func snapshotSeq(key string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(key, snapshotPrefix)
+	if !ok {
+		return 0, false
+	}
+	dir, _, ok := strings.Cut(rest, "/")
+	if !ok || len(dir) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(dir, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// latestManifest finds the newest snapshot that has a MANIFEST (i.e. was
+// completely written). Returns ok=false when no complete snapshot exists.
+func latestManifest(blob BlobStore) (seq uint64, mf manifest, ok bool, err error) {
+	keys, err := blob.List(snapshotPrefix)
+	if err != nil {
+		return 0, mf, false, err
+	}
+	var best uint64
+	found := false
+	for _, k := range keys {
+		if !strings.HasSuffix(k, "/"+manifestName) {
+			continue
+		}
+		if s, kok := snapshotSeq(k); kok && (!found || s > best) {
+			best, found = s, true
+		}
+	}
+	if !found {
+		return 0, mf, false, nil
+	}
+	raw, err := blob.Get(snapshotDir(best) + "/" + manifestName)
+	if err != nil {
+		return 0, mf, false, err
+	}
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		return 0, mf, false, fmt.Errorf("durable: snapshot %016x manifest: %w", best, err)
+	}
+	return best, mf, true, nil
+}
+
+// snapshotState is the serializable mirror image a compaction captures.
+type snapshotState struct {
+	pools   map[tmem.PoolID]poolMeta
+	objects map[objKey]map[tmem.PageIndex][]byte
+	pages   uint64
+	bytes   uint64
+}
+
+// buildSlabs serializes the state into slab byte blobs of roughly
+// slabBytes each. Records are emitted in sorted order (pools by id, pages
+// by pool/object/index) so identical states produce identical snapshots.
+func buildSlabs(st snapshotState, slabBytes int64) [][]byte {
+	poolIDs := make([]tmem.PoolID, 0, len(st.pools))
+	for id := range st.pools {
+		poolIDs = append(poolIDs, id)
+	}
+	sort.Slice(poolIDs, func(i, j int) bool { return poolIDs[i] < poolIDs[j] })
+
+	objKeys := make([]objKey, 0, len(st.objects))
+	for k := range st.objects {
+		objKeys = append(objKeys, k)
+	}
+	sort.Slice(objKeys, func(i, j int) bool {
+		a, b := objKeys[i], objKeys[j]
+		if a.pool != b.pool {
+			return a.pool < b.pool
+		}
+		return a.object < b.object
+	})
+
+	var slabs [][]byte
+	var buf []byte
+	var scratch []byte
+	flush := func() {
+		if len(buf) > 0 {
+			slabs = append(slabs, buf)
+			buf = nil
+		}
+	}
+	emit := func(payload []byte) {
+		buf = frameRecord(buf, payload)
+		if int64(len(buf)) >= slabBytes {
+			flush()
+		}
+	}
+
+	for _, id := range poolIDs {
+		pm := st.pools[id]
+		scratch = newPoolPayload(scratch[:0], id, pm.vm, pm.kind)
+		emit(scratch)
+	}
+	for _, ok := range objKeys {
+		pages := st.objects[ok]
+		idxs := make([]tmem.PageIndex, 0, len(pages))
+		for idx := range pages {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			key := tmem.Key{Pool: ok.pool, Object: ok.object, Index: idx}
+			scratch = putPayload(scratch[:0], key, pages[idx])
+			emit(scratch)
+		}
+	}
+	flush()
+	return slabs
+}
+
+// writeSnapshot streams the slabs and finally the manifest.
+func writeSnapshot(blob BlobStore, seq uint64, st snapshotState, slabBytes int64) error {
+	slabs := buildSlabs(st, slabBytes)
+	for i, slab := range slabs {
+		if err := blob.Put(slabKey(seq, i), slab); err != nil {
+			return err
+		}
+	}
+	mf := manifest{
+		WALResume: seq,
+		Slabs:     len(slabs),
+		Pools:     len(st.pools),
+		Pages:     st.pages,
+		Bytes:     st.bytes,
+	}
+	raw, err := json.Marshal(mf)
+	if err != nil {
+		return err
+	}
+	return blob.Put(snapshotDir(seq)+"/"+manifestName, raw)
+}
+
+// dropSnapshotsBefore deletes every complete-or-partial snapshot directory
+// with sequence < keep.
+func dropSnapshotsBefore(blob BlobStore, keep uint64) error {
+	keys, err := blob.List(snapshotPrefix)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, k := range keys {
+		if seq, ok := snapshotSeq(k); ok && seq < keep {
+			if err := blob.Delete(k); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// dropSegmentsBefore deletes every WAL segment with sequence < keep.
+func dropSegmentsBefore(blob BlobStore, keep uint64) error {
+	seqs, err := listSegments(blob)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, s := range seqs {
+		if s < keep {
+			if err := blob.Delete(segKey(s)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// readCleanMarker loads the CLEAN marker if present.
+func readCleanMarker(blob BlobStore) (cleanMarker, bool, error) {
+	raw, err := blob.Get(cleanKey)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return cleanMarker{}, false, nil
+		}
+		return cleanMarker{}, false, err
+	}
+	var m cleanMarker
+	if err := json.Unmarshal(raw, &m); err != nil {
+		// A garbled marker is treated as absent: fall back to full replay.
+		return cleanMarker{}, false, nil
+	}
+	return m, true, nil
+}
+
+func writeCleanMarker(blob BlobStore, snapshot uint64) error {
+	raw, err := json.Marshal(cleanMarker{Snapshot: snapshot})
+	if err != nil {
+		return err
+	}
+	return blob.Put(cleanKey, raw)
+}

@@ -1,0 +1,196 @@
+package durable
+
+import (
+	"sync/atomic"
+
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+// Tier adapts a Log to tmem.Tier/BatchTier: the terminal leg of the
+// demotion chain (RAM → compressed RAM → peer RAM → durable blob). Only
+// persistent (frontswap) pages are accepted — an ephemeral page's
+// contract allows dropping it, so journaling it buys nothing and costs a
+// blob write. Like RemoteTier, a blob-store failure flips the tier into
+// sticky degradation: further puts answer ETmem (the guest falls back to
+// its virtual disk) and the failure is counted, never retried blindly.
+type Tier struct {
+	name string
+	log  *Log
+	down atomic.Bool
+
+	puts, putsOK, gets, getsHit atomic.Uint64
+	pageFlushes, objectFlushes  atomic.Uint64
+	errors                      atomic.Uint64
+}
+
+// NewTier wraps log as a tmem tier.
+func NewTier(name string, log *Log) *Tier {
+	return &Tier{name: name, log: log}
+}
+
+// Log exposes the underlying journal (stats, recovery, close).
+func (t *Tier) Log() *Log { return t.log }
+
+func (t *Tier) Name() string { return t.name }
+
+// fail records a blob-store failure and degrades the tier.
+func (t *Tier) fail() tmem.Status {
+	t.errors.Add(1)
+	t.down.Store(true)
+	return tmem.ETmem
+}
+
+func (t *Tier) Put(key tmem.Key, kind tmem.PoolKind, data []byte) tmem.Status {
+	t.puts.Add(1)
+	if kind != tmem.Persistent || t.down.Load() {
+		return tmem.ETmem
+	}
+	if err := t.ensurePool(key.Pool, kind); err != nil {
+		return t.fail()
+	}
+	if err := t.log.Put(key, data); err != nil {
+		return t.fail()
+	}
+	t.putsOK.Add(1)
+	return tmem.STmem
+}
+
+// ensurePool lazily journals the pool the first time one of its pages
+// overflows into the tier. The backend owns pool-id assignment; the tier
+// only ever sees keys for pools that exist, so vm attribution uses the
+// anonymous VMID 0 — the durable mirror needs the pool's kind and id, not
+// its owner, to restore pages.
+func (t *Tier) ensurePool(pool tmem.PoolID, kind tmem.PoolKind) error {
+	if t.log.HasPool(pool) {
+		return nil
+	}
+	return t.log.NewPool(pool, 0, kind)
+}
+
+func (t *Tier) Get(key tmem.Key, dst []byte) tmem.Status {
+	t.gets.Add(1)
+	if !t.log.Get(key, dst) {
+		return tmem.ETmem
+	}
+	t.getsHit.Add(1)
+	return tmem.STmem
+}
+
+func (t *Tier) FlushPage(key tmem.Key) tmem.Status {
+	t.pageFlushes.Add(1)
+	removed, err := t.log.FlushPage(key)
+	if err != nil {
+		return t.fail()
+	}
+	if !removed {
+		return tmem.ETmem
+	}
+	return tmem.STmem
+}
+
+func (t *Tier) FlushObject(pool tmem.PoolID, object tmem.ObjectID) (mem.Pages, tmem.Status) {
+	t.objectFlushes.Add(1)
+	n, err := t.log.FlushObject(pool, object)
+	if err != nil {
+		return 0, t.fail()
+	}
+	return mem.Pages(n), tmem.STmem
+}
+
+func (t *Tier) DropPool(pool tmem.PoolID) {
+	if err := t.log.DropPool(pool); err != nil {
+		t.fail()
+	}
+}
+
+func (t *Tier) Stats() tmem.TierStats {
+	return tmem.TierStats{
+		Puts:          t.puts.Load(),
+		PutsOK:        t.putsOK.Load(),
+		Gets:          t.gets.Load(),
+		GetsHit:       t.getsHit.Load(),
+		PageFlushes:   t.pageFlushes.Load(),
+		ObjectFlushes: t.objectFlushes.Load(),
+		Errors:        t.errors.Load(),
+	}
+}
+
+// PutBatch journals the run's persistent pages with one WAL append and
+// one group commit.
+func (t *Tier) PutBatch(keys []tmem.Key, kinds []tmem.PoolKind, datas [][]byte, sts []tmem.Status) {
+	t.puts.Add(uint64(len(keys)))
+	for i := range sts {
+		sts[i] = tmem.ETmem
+	}
+	if t.down.Load() {
+		return
+	}
+	// Collect the journalable subset (persistent pools only).
+	var bKeys []tmem.Key
+	var bDatas [][]byte
+	var bIdx []int
+	for i, key := range keys {
+		if kinds[i] != tmem.Persistent {
+			continue
+		}
+		if err := t.ensurePool(key.Pool, kinds[i]); err != nil {
+			t.fail()
+			return
+		}
+		bKeys = append(bKeys, key)
+		bDatas = append(bDatas, datas[i])
+		bIdx = append(bIdx, i)
+	}
+	if len(bKeys) == 0 {
+		return
+	}
+	if err := t.log.PutBatch(bKeys, bDatas); err != nil {
+		t.fail()
+		return
+	}
+	t.putsOK.Add(uint64(len(bKeys)))
+	for _, i := range bIdx {
+		sts[i] = tmem.STmem
+	}
+}
+
+func (t *Tier) GetBatch(keys []tmem.Key, dsts [][]byte, sts []tmem.Status) {
+	for i, key := range keys {
+		var dst []byte
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		sts[i] = t.Get(key, dst)
+	}
+}
+
+// Summary bundles a durable tier's view for results and sinks: the tier
+// counters (demotion traffic) plus the journal counters (WAL/snapshot
+// activity and live state).
+type Summary struct {
+	Tier tmem.TierStats
+	Log  Stats
+}
+
+// Summary snapshots the tier's counters together with its journal's.
+func (t *Tier) Summary() Summary {
+	return Summary{Tier: t.Stats(), Log: t.log.Stats()}
+}
+
+// Add folds o into s (cluster aggregation).
+func (s *Summary) Add(o Summary) {
+	s.Tier.Puts += o.Tier.Puts
+	s.Tier.PutsOK += o.Tier.PutsOK
+	s.Tier.Gets += o.Tier.Gets
+	s.Tier.GetsHit += o.Tier.GetsHit
+	s.Tier.PageFlushes += o.Tier.PageFlushes
+	s.Tier.ObjectFlushes += o.Tier.ObjectFlushes
+	s.Tier.Errors += o.Tier.Errors
+	s.Log.Add(o.Log)
+}
+
+var (
+	_ tmem.Tier      = (*Tier)(nil)
+	_ tmem.BatchTier = (*Tier)(nil)
+)

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"smartmem/internal/core"
+	"smartmem/internal/durable"
+	"smartmem/internal/mem"
+	"smartmem/internal/policy"
+	"smartmem/internal/workload"
+)
+
+// RestartSurvivorScenario exercises the durable tier under real demotion
+// pressure: three usemem VMs contend for a deliberately undersized pool,
+// so the PFRA pushes persistent pages down the tier chain and the WAL
+// absorbs everything the RAM tiers cannot hold. Each build gets a fresh
+// in-memory blob store (builds run concurrently under the engine); callers
+// wanting the crash-survival half of the story reopen the run's
+// Config.DurableBlob with durable.Open afterwards — the journal is left in
+// its crash-consistent state on purpose (core closes it without the
+// graceful compaction).
+var RestartSurvivorScenario = NewScenario(Scenario{
+	Name: "Restart Survivor",
+	Slug: "restart-survivor",
+	Description: "3 usemem VMs (512MB RAM each) vs 96MiB of tmem with a " +
+		"durable WAL tier as the last resort: overflow pages are journaled " +
+		"instead of failing, and the journal reopens crash-consistent after " +
+		"the run. Stops after 2 full traversals per VM.",
+	TmemBytes: 96 * mem.MiB,
+	Policies: []string{
+		"no-tmem", "greedy", "static-alloc", "reconf-static", "smart-alloc:P=2",
+	},
+	TimesFigure:  "Restart-survivor",
+	SeriesFigure: "Restart-survivor series",
+	RunLabels: []string{
+		workload.RunLabel(128 * mem.MiB), workload.RunLabel(256 * mem.MiB),
+		workload.RunLabel(384 * mem.MiB), workload.RunLabel(512 * mem.MiB),
+	},
+}, func(seed uint64, pol policy.Policy, tmemOn bool) core.Config {
+	cfg := usememClusterNode(seed, pol, tmemOn, 3, 96*mem.MiB, 2)
+	if tmemOn {
+		cfg.DurableBlob = durable.NewMemStore()
+	}
+	return cfg
+})

@@ -142,4 +142,6 @@ func init() {
 	Register(NodeImbalanceScenario)
 	// Compressed-tier scenario (in-RAM compression + dedup).
 	Register(MemoryPressureScenario)
+	// Durable-tier scenario (WAL + snapshots as the last-resort tier).
+	Register(RestartSurvivorScenario)
 }

@@ -1,0 +1,31 @@
+package kvstore
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// DialRetry dials addr with bounded retry and linear backoff: attempt i
+// (0-based) sleeps i*backoff first, so the first try is immediate. It
+// exists for the restart window of a peer daemon — a remote tier whose
+// kvd peer is mid-restart gets a listening socket a moment later instead
+// of a refused connection that would flip the tier into sticky disk
+// degradation. attempts < 1 is treated as 1.
+func DialRetry(network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && backoff > 0 {
+			time.Sleep(time.Duration(i) * backoff)
+		}
+		c, err := net.Dial(network, addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("kvstore: dial %s %s failed after %d attempts: %w", network, addr, attempts, lastErr)
+}

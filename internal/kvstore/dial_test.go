@@ -1,0 +1,77 @@
+package kvstore
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reserveAddr grabs a loopback port and releases it, returning an address
+// that is (momentarily) guaranteed unused.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestDialRetryConnectsToLateListener(t *testing.T) {
+	addr := reserveAddr(t)
+
+	// Bring the listener up only after the first attempts have failed —
+	// the restarting-kvd window DialRetry exists for.
+	ready := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			ready <- l
+		} else {
+			close(ready)
+		}
+	}()
+
+	c, err := DialRetry("tcp", addr, 20, 20*time.Millisecond)
+	l, ok := <-ready
+	if ok {
+		defer l.Close()
+	}
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialRetryBoundedFailure(t *testing.T) {
+	addr := reserveAddr(t)
+	start := time.Now()
+	_, err := DialRetry("tcp", addr, 3, 5*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error does not report attempts: %v", err)
+	}
+	// 3 attempts with backoffs 0+5+10ms must not take unbounded time.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry not bounded: %v", elapsed)
+	}
+}
+
+func TestDialRetryImmediateSuccess(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer l.Close()
+	c, err := DialRetry("tcp", l.Addr().String(), 1, time.Second)
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	c.Close()
+}

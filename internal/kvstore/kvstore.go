@@ -82,12 +82,31 @@ func maxBatchPayload(pageSize int) int {
 // enough to hold several pipelined 4 KiB-page requests per syscall.
 const connBufSize = 32 * 1024
 
-// Server serves the KV protocol over a listener backed by one tmem
-// backend shared by all connections. Request handling is pipelined: a
-// client may stream many requests without waiting for responses, and the
-// server batches responses until the inbound buffer drains.
+// Store is the operation surface a Server dispatches requests to: exactly
+// the backend methods the wire protocol exposes. *tmem.Backend satisfies
+// it directly; durable.Store wraps a backend with write-through journaling
+// so every acknowledged persistent put survives a crash.
+type Store interface {
+	PageSize() mem.Bytes
+	NewPool(vm tmem.VMID, kind tmem.PoolKind) tmem.PoolID
+	DestroyPool(id tmem.PoolID) error
+	Put(key tmem.Key, data []byte) tmem.Status
+	Get(key tmem.Key, dst []byte) tmem.Status
+	FlushPage(key tmem.Key) tmem.Status
+	FlushObject(pool tmem.PoolID, object tmem.ObjectID) (mem.Pages, tmem.Status)
+	PutBatch(keys []tmem.Key, datas [][]byte, sts []tmem.Status)
+	GetBatch(keys []tmem.Key, dsts [][]byte, sts []tmem.Status)
+}
+
+var _ Store = (*tmem.Backend)(nil)
+
+// Server serves the KV protocol over a listener backed by one store
+// shared by all connections. Request handling is pipelined: a client may
+// stream many requests without waiting for responses, and the server
+// batches responses until the inbound buffer drains.
 type Server struct {
-	backend *tmem.Backend
+	store   Store
+	backend *tmem.Backend // non-nil when the store is (or wraps) a backend
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -96,19 +115,36 @@ type Server struct {
 	wg        sync.WaitGroup
 }
 
-// NewServer wraps a backend.
+// NewServer wraps a bare backend.
 func NewServer(b *tmem.Backend) *Server {
 	if b == nil {
 		panic("kvstore: nil backend")
 	}
-	return &Server{
-		backend:   b,
+	s := NewServerStore(b)
+	s.backend = b
+	return s
+}
+
+// NewServerStore wraps any Store (e.g. a durable write-through store).
+// When the store exposes the backend it wraps via a Backend() method,
+// Server.Backend reports it.
+func NewServerStore(store Store) *Server {
+	if store == nil {
+		panic("kvstore: nil store")
+	}
+	s := &Server{
+		store:     store,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
+	if bp, ok := store.(interface{ Backend() *tmem.Backend }); ok {
+		s.backend = bp.Backend()
+	}
+	return s
 }
 
-// Backend returns the underlying tmem backend.
+// Backend returns the underlying tmem backend, or nil when the server was
+// built over a store that does not wrap one.
 func (s *Server) Backend() *tmem.Backend { return s.backend }
 
 // Serve accepts and serves connections until the listener closes. After a
@@ -198,7 +234,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // rather than per request.
 func (s *Server) ServeConn(c net.Conn) error {
 	defer c.Close()
-	pageSize := int(s.backend.PageSize())
+	pageSize := int(s.store.PageSize())
 	br := bufio.NewReaderSize(c, connBufSize)
 	bw := bufio.NewWriterSize(c, connBufSize)
 	// On an error return, responses to already-executed pipelined requests
@@ -248,27 +284,27 @@ func (s *Server) ServeConn(c net.Conn) error {
 		var payload []byte
 		switch hdr[0] {
 		case OpPut:
-			status = s.backend.Put(key, data)
+			status = s.store.Put(key, data)
 		case OpGet:
-			status = s.backend.Get(key, page)
+			status = s.store.Get(key, page)
 			if status == tmem.STmem {
 				payload = page
 			}
 		case OpFlushPage:
-			status = s.backend.FlushPage(key)
+			status = s.store.FlushPage(key)
 		case OpFlushObject:
 			// The pages-freed count rides the response payload so a remote
 			// tier's owner can account exactly (see Client.FlushObjectCount).
 			var freed mem.Pages
-			freed, status = s.backend.FlushObject(key.Pool, key.Object)
+			freed, status = s.store.FlushObject(key.Pool, key.Object)
 			if status == tmem.STmem {
 				payload = binary.BigEndian.AppendUint64(countBuf[:0], uint64(freed))
 			}
 		case OpNewPool:
-			pool := s.backend.NewPool(tmem.VMID(key.Pool), tmem.PoolKind(key.Object))
+			pool := s.store.NewPool(tmem.VMID(key.Pool), tmem.PoolKind(key.Object))
 			status = tmem.Status(pool)
 		case OpDestroyPool:
-			if err := s.backend.DestroyPool(key.Pool); err != nil {
+			if err := s.store.DestroyPool(key.Pool); err != nil {
 				status = tmem.EInval
 			} else {
 				status = tmem.STmem
@@ -277,7 +313,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 			if err := scr.parsePutBatch(data, pageSize); err != nil {
 				return err
 			}
-			s.backend.PutBatch(scr.keys, scr.datas, scr.sts)
+			s.store.PutBatch(scr.keys, scr.datas, scr.sts)
 			status = tmem.STmem
 			scr.resp = scr.resp[:0]
 			for _, st := range scr.sts {
@@ -288,7 +324,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 			if err := scr.parseGetBatch(data, pageSize); err != nil {
 				return err
 			}
-			s.backend.GetBatch(scr.keys, scr.dsts, scr.sts)
+			s.store.GetBatch(scr.keys, scr.dsts, scr.sts)
 			status = tmem.STmem
 			scr.resp = scr.resp[:0]
 			for i, st := range scr.sts {

@@ -373,6 +373,28 @@ func (b *Backend) NewPool(vm VMID, kind PoolKind) PoolID {
 	return id
 }
 
+// RestorePool re-creates a pool under an explicit identifier — the crash-
+// recovery path replaying a durable journal, where guests hold wire-
+// visible pool ids that must survive the restart. The id allocator is
+// advanced past id so later NewPool calls can never collide with a
+// restored pool. Restoring a live id is an error.
+func (b *Backend) RestorePool(id PoolID, vm VMID, kind PoolKind) error {
+	if id < 0 {
+		return fmt.Errorf("tmem: restore of invalid pool id %d", id)
+	}
+	b.poolMu.Lock()
+	defer b.poolMu.Unlock()
+	if _, dup := b.pools[id]; dup {
+		return fmt.Errorf("tmem: restore of live pool %d", id)
+	}
+	a := b.register(vm)
+	b.pools[id] = &Pool{id: id, vm: vm, kind: kind, acct: a}
+	if id >= b.nextPool {
+		b.nextPool = id + 1
+	}
+	return nil
+}
+
 // DestroyPool flushes every page of the pool and removes it.
 func (b *Backend) DestroyPool(id PoolID) error {
 	b.poolMu.Lock()

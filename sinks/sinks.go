@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"smartmem"
+	"smartmem/internal/durable"
 	"smartmem/internal/mem"
 	"smartmem/internal/tmem"
 )
@@ -134,6 +135,31 @@ func encodeCompressed(s *tmem.CompressedTierStats) map[string]any {
 	}
 }
 
+// encodeDurable flattens a durable-tier summary: the tier's demotion
+// traffic plus the journal's WAL/snapshot counters and live-state gauges.
+// Every field is deterministic under the sim's durable options (no fsync
+// goroutine, inline compaction), so golden runs may include it.
+func encodeDurable(s *durable.Summary) map[string]any {
+	return map[string]any{
+		"puts":           s.Tier.Puts,
+		"puts_ok":        s.Tier.PutsOK,
+		"gets":           s.Tier.Gets,
+		"gets_hit":       s.Tier.GetsHit,
+		"page_flushes":   s.Tier.PageFlushes,
+		"object_flushes": s.Tier.ObjectFlushes,
+		"errors":         s.Tier.Errors,
+		"wal_appends":    s.Log.Appends,
+		"wal_bytes":      s.Log.AppendedBytes,
+		"fsyncs":         s.Log.Fsyncs,
+		"segments":       s.Log.Segments,
+		"compactions":    s.Log.Compactions,
+		"snapshot_pages": s.Log.SnapshotPages,
+		"pools":          s.Log.Pools,
+		"pages_live":     s.Log.PagesLive,
+		"bytes_live":     s.Log.BytesLive,
+	}
+}
+
 // EncodeResult flattens a run result into its JSON document form. A nil
 // result encodes as nil (a run that failed before producing anything).
 func EncodeResult(r *smartmem.Result) map[string]any {
@@ -153,6 +179,9 @@ func EncodeResult(r *smartmem.Result) map[string]any {
 	}
 	if r.Compressed != nil {
 		doc["compressed_tier"] = encodeCompressed(r.Compressed)
+	}
+	if r.Durable != nil {
+		doc["durable_tier"] = encodeDurable(r.Durable)
 	}
 	runs := make([]map[string]any, 0, len(r.Runs))
 	for _, rec := range r.Runs {
@@ -221,6 +250,9 @@ func EncodeResult(r *smartmem.Result) map[string]any {
 			}
 			if n.Compressed != nil {
 				nd["compressed_tier"] = encodeCompressed(n.Compressed)
+			}
+			if n.Durable != nil {
+				nd["durable_tier"] = encodeDurable(n.Durable)
 			}
 			nodes = append(nodes, nd)
 		}

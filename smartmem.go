@@ -56,6 +56,7 @@ import (
 	"io"
 
 	"smartmem/internal/core"
+	"smartmem/internal/durable"
 	"smartmem/internal/experiments"
 	"smartmem/internal/mem"
 	"smartmem/internal/metrics"
@@ -112,6 +113,24 @@ type Result = core.Result
 
 // RunRecord is one completed workload run measurement.
 type RunRecord = core.RunRecord
+
+// BlobStore is the pluggable durable-tier backend (see internal/durable):
+// set Config.DurableBlob to one and persistent pages demoted past the RAM
+// tiers are journaled to a write-ahead log with periodic slab snapshots.
+type BlobStore = durable.BlobStore
+
+// DurableSummary reports a durable tier's end-of-run counters
+// (Result.Durable / NodeResult.Durable).
+type DurableSummary = durable.Summary
+
+// NewMemBlobStore returns an in-memory blob store: self-contained durable
+// runs and tests (state survives reopening the same store value, not the
+// process).
+func NewMemBlobStore() BlobStore { return durable.NewMemStore() }
+
+// NewDirBlobStore returns a blob store rooted at an on-disk directory, so
+// a run's durable state survives the process.
+func NewDirBlobStore(dir string) (BlobStore, error) { return durable.NewDirStore(dir) }
 
 // Policy computes per-VM tmem capacity targets each sampling interval.
 type Policy = policy.Policy
