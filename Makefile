@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench bench-json profile report clean
+.PHONY: all build test race vet lint fmt bench bench-json bench-gate load-smoke profile report clean
 
 all: build lint test
 
@@ -41,10 +41,13 @@ bench:
 	$(GO) test -bench 'BenchmarkCompressedTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
 	$(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore
 	$(GO) test -bench 'BenchmarkWALAppend' -benchtime 1000x -benchmem -run '^$$' ./internal/durable
+	$(GO) test -bench 'BenchmarkHDR' -benchtime 100000x -benchmem -run '^$$' ./internal/hdr
+	$(GO) run ./cmd/smartmem-loadgen -inprocess -rate 2000 -duration 2s -conns 2 -quiet -bench
 
 # Machine-readable benchmark snapshot: runs the same suite as `make bench`
 # and writes BENCH.json (the perf trajectory record; CI uploads it next to
-# the raw bench-out artifact).
+# the raw bench-out artifact). The loadgen line folds open-loop p50/p99/p999
+# into the same document as the closed-loop benchmarks.
 # No pipe into tee here: a failing bench must fail the target instead of
 # being masked by the pipe's exit status (POSIX sh has no pipefail).
 bench-json:
@@ -55,10 +58,30 @@ bench-json:
 	  $(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
 	  $(GO) test -bench 'BenchmarkCompressedTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
 	  $(GO) test -bench 'BenchmarkKVServer' -benchtime 1000x -benchmem -run '^$$' ./internal/kvstore && \
-	  $(GO) test -bench 'BenchmarkWALAppend' -benchtime 1000x -benchmem -run '^$$' ./internal/durable; } > "$$tmp" || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; \
+	  $(GO) test -bench 'BenchmarkWALAppend' -benchtime 1000x -benchmem -run '^$$' ./internal/durable && \
+	  $(GO) test -bench 'BenchmarkHDR' -benchtime 100000x -benchmem -run '^$$' ./internal/hdr && \
+	  $(GO) run ./cmd/smartmem-loadgen -inprocess -rate 2000 -duration 2s -conns 2 -quiet -bench; } > "$$tmp" || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; \
 	cat "$$tmp"; \
 	$(GO) run ./cmd/smartmem-benchjson < "$$tmp" > BENCH.json && rm -f "$$tmp" && \
 	echo "wrote BENCH.json"
+
+# Perf gate: rebuild the benchmark snapshot into bench-out/ and hold it
+# against the committed BENCH.json under the per-benchmark budgets. CI runs
+# this (failing the build on a busted budget) before refreshing the
+# committed baseline. Run `make bench-json` first if bench-out/BENCH.json
+# is missing or stale.
+bench-gate:
+	@test -f bench-out/BENCH.json || { echo "bench-out/BENCH.json missing: run the bench suite into bench-out first (CI does) or 'make bench-json' and copy it"; exit 1; }
+	$(GO) run ./cmd/smartmem-benchgate -current bench-out/BENCH.json -baseline BENCH.json -budgets bench-budgets.txt
+
+# Loadgen SLO smoke: a short open-loop run against an in-process server,
+# gated on zero transport errors, a minimum sustained rate and a p99
+# ceiling. The ceiling is deliberately generous (~25x the quiet-machine
+# p99) so it only trips on real serialization bugs, not runner jitter.
+load-smoke:
+	@mkdir -p bench-out
+	$(GO) run ./cmd/smartmem-loadgen -inprocess -rate 2000 -duration 5s -conns 2 -keys 8192 -json bench-out/load-smoke.json
+	$(GO) run ./cmd/smartmem-benchgate -load bench-out/load-smoke.json -min-rate 1800 -max-p99 50ms
 
 # Profile a tier-stack-heavy run (kv-heavy hammers the striped store; swap
 # -scenario cluster-2 to profile the cluster runtime). Inspect with:

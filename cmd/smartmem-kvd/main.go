@@ -143,9 +143,14 @@ func main() {
 		if *debug != "" {
 			dl, err := net.Listen("tcp", *debug)
 			fatalIf(err)
+			node.metrics = kvstore.NewMetrics()
 			publishDebugVars(node)
-			go func() { fatalIf(http.Serve(dl, expvar.Handler())) }()
-			fmt.Printf("smartmem-kvd: debug counters on http://%s/\n", dl.Addr())
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			mux.Handle("/metrics", promHandler(node, node.metrics))
+			mux.Handle("/", expvar.Handler())
+			go func() { fatalIf(http.Serve(dl, mux)) }()
+			fmt.Printf("smartmem-kvd: debug counters on http://%s/ (Prometheus on /metrics)\n", dl.Addr())
 		}
 		fmt.Printf("smartmem-kvd: serving %d tmem pages (%d shards) on %s\n",
 			*pages, backend.Shards(), l.Addr())
@@ -199,8 +204,9 @@ func newBackend(pages mem.Pages, shards int) *tmem.Backend {
 type kvNode struct {
 	store   kvstore.Store
 	backend *tmem.Backend
-	dlog    *durable.Log   // nil without -durable
-	dstore  *durable.Store // nil without -durable
+	dlog    *durable.Log     // nil without -durable
+	dstore  *durable.Store   // nil without -durable
+	metrics *kvstore.Metrics // nil without -debug
 }
 
 // openDurable opens (and recovers) the journal under dir and wraps backend
@@ -250,6 +256,9 @@ func openDurable(backend *tmem.Backend, dir string, fp durable.FsyncPolicy, out 
 // next start skips the WAL replay.
 func serveKV(l net.Listener, node kvNode, sigs <-chan os.Signal, drain time.Duration, out io.Writer) error {
 	srv := kvstore.NewServerStore(node.store)
+	if node.metrics != nil {
+		srv.SetMetrics(node.metrics)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"smartmem/internal/kvstore"
+	"smartmem/internal/mem"
+	"smartmem/internal/tmem"
+)
+
+// TestPromHandler scrapes the /metrics handler over a store with a
+// compressed tier attached and recorded wire activity, and checks the
+// families, label sets and a few exact values of the exposition.
+func TestPromHandler(t *testing.T) {
+	backend := newBackend(mem.Pages(256), 1)
+	backend.AttachTier(tmem.NewCompressedTier(tmem.CompressedTierConfig{
+		PageSize:      pageSize,
+		CapacityBytes: 1 * mem.MiB,
+		Codec:         tmem.NewLZCodec(),
+	}))
+	m := kvstore.NewMetrics()
+	for i := 0; i < 10; i++ {
+		m.OpHistogram(kvstore.OpPut).Record(int64(time.Millisecond))
+	}
+	m.OpHistogram(kvstore.OpGet).Record(int64(2 * time.Millisecond))
+
+	node := kvNode{store: backend, backend: backend, metrics: m}
+	srv := httptest.NewServer(promHandler(node, m))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		`smartmem_op_latency_seconds{op="put",quantile="0.99"} `,
+		`smartmem_op_latency_seconds_count{op="put"} 10`,
+		`smartmem_op_latency_seconds_count{op="get"} 1`,
+		`smartmem_ops_total{op="put"} 10`,
+		"# TYPE smartmem_op_latency_seconds summary",
+		"# TYPE smartmem_ops_total counter",
+		"smartmem_store_pages_total 256",
+		"smartmem_store_pages_used 0",
+		"# TYPE smartmem_wire_conns_active gauge",
+		"smartmem_wire_proto_errors_total 0",
+		`smartmem_tier_ops_total{tier="compressed",op="put"} 0`,
+		`smartmem_compressed_stored_bytes{tier="compressed"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// No durable log attached: the WAL families must be absent.
+	if strings.Contains(body, "smartmem_wal_") {
+		t.Error("exposition has WAL families without -durable")
+	}
+
+	// The put p50 must round-trip through the histogram to ~1ms in
+	// seconds (hdr upper-bound error is <= 1/64).
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `smartmem_op_latency_seconds{op="put",quantile="0.5"} `) {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			if v < 0.001 || v > 0.00102 {
+				t.Errorf("put p50 = %gs, want ~1ms", v)
+			}
+			return
+		}
+	}
+	t.Error("no put p50 sample found")
+}

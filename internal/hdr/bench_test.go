@@ -1,0 +1,58 @@
+package hdr
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkHDRRecord pins the recording hot path: a handful of atomic ops,
+// no locks, 0 allocs/op serial and under contention.
+func BenchmarkHDRRecord(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		h := New()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(int64(i&0xffff) * 100)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		h := New()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			v := int64(0)
+			for pb.Next() {
+				h.Record(v & 0xfffff)
+				v += 4093
+			}
+		})
+	})
+	b.Run("per-worker-merge", func(b *testing.B) {
+		// The contention-free discipline loadgen uses: a private histogram
+		// per worker, merged once at the end.
+		var next atomic.Int64
+		b.ReportAllocs()
+		agg := New()
+		b.RunParallel(func(pb *testing.PB) {
+			h := New()
+			v := next.Add(1) * 7919
+			for pb.Next() {
+				h.Record(v & 0xfffff)
+				v += 4093
+			}
+			agg.Add(h)
+		})
+	})
+}
+
+// BenchmarkHDRQuantile measures the read side (3712 bucket scan).
+func BenchmarkHDRQuantile(b *testing.B) {
+	h := New()
+	for i := 0; i < 100_000; i++ {
+		h.Record(int64(i%77777) * 13)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}

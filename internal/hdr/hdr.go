@@ -1,0 +1,229 @@
+// Package hdr provides lock-free log-bucketed latency histograms for the
+// wire-rate measurement path: the open-loop load generator
+// (cmd/smartmem-loadgen) and the kvd's per-op serving metrics record into
+// them on hot paths, so Record must be wait-free and allocation-free.
+//
+// The layout is HdrHistogram-style log-linear: 64 linear sub-buckets per
+// power of two, giving a guaranteed relative error of at most 1/64 (~1.6%)
+// for any recorded value while covering the full non-negative int64 range
+// in a fixed 3712-bucket array. Every bucket is a plain uint64 touched
+// only with atomic operations, so any number of goroutines may Record
+// concurrently with zero coordination and readers (Quantile, Snapshot)
+// observe a consistent-enough view without stopping writers — exactly the
+// discipline a serving loop needs: histogram recording never joins the
+// lock path.
+//
+// Histograms are mergeable: per-worker histograms recorded independently
+// merge associatively into one (Merge adds bucket-wise), so a load
+// generator can keep recording contention-free per connection and fold the
+// results at the end.
+package hdr
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// subBits fixes the linear resolution inside each power of two:
+// 2^subBits sub-buckets per octave, bounding relative error by 2^-subBits.
+const subBits = 6
+
+// subCount is the number of linear sub-buckets per octave.
+const subCount = 1 << subBits
+
+// NumBuckets is the fixed size of the bucket array: values 0..63 map to
+// their own bucket, and each of the 57 octaves [2^6,2^7) .. [2^62,2^63)
+// contributes 64 more.
+const NumBuckets = (63-subBits)*subCount + subCount
+
+// Histogram is a fixed-size concurrent latency histogram. The zero value
+// is ready to use; New returns a pointer for the common heap case.
+// Record/Add are safe for any number of concurrent callers; the read side
+// (Quantile, Count, Snapshot, ...) uses atomic loads and may run
+// concurrently with writers, seeing some prefix of in-flight records.
+type Histogram struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64 // stored as value+1 so 0 means "nothing recorded"
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a non-negative value to its bucket. Values below 64
+// get exact buckets; above, the top subBits+1 significant bits pick a
+// linear sub-bucket inside the value's octave.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	exp := bits.Len64(u|1) - 1
+	if exp < subBits {
+		return int(u)
+	}
+	top := u >> (uint(exp) - subBits) // in [subCount, 2*subCount)
+	return (exp-subBits+1)*subCount + int(top) - subCount
+}
+
+// bucketBounds returns the inclusive value range [lo, hi] a bucket covers.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < subCount {
+		return int64(idx), int64(idx)
+	}
+	exp := idx/subCount + subBits - 1
+	top := uint64(idx%subCount + subCount)
+	width := uint64(1) << (uint(exp) - subBits)
+	l := top * width
+	return int64(l), int64(l + width - 1)
+}
+
+// Record adds one observation. Negative values clamp to zero (a latency
+// measured from an intended timestamp can go slightly negative on clock
+// adjustment; losing the sign beats crashing the serving loop). Record
+// performs no allocation and takes no lock.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddUint64(&h.buckets[bucketIndex(v)], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, uint64(v))
+	for {
+		cur := atomic.LoadUint64(&h.max)
+		if uint64(v)+1 <= cur {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&h.max, cur, uint64(v)+1) {
+			return
+		}
+	}
+}
+
+// Add merges other into h bucket-wise; both may keep recording. Merging is
+// associative and commutative up to the bucket resolution (exactly: bucket
+// counts, count, sum and max are all plain sums/maxes).
+func (h *Histogram) Add(other *Histogram) {
+	for i := range other.buckets {
+		if n := atomic.LoadUint64(&other.buckets[i]); n != 0 {
+			atomic.AddUint64(&h.buckets[i], n)
+		}
+	}
+	atomic.AddUint64(&h.count, atomic.LoadUint64(&other.count))
+	atomic.AddUint64(&h.sum, atomic.LoadUint64(&other.sum))
+	om := atomic.LoadUint64(&other.max)
+	for {
+		cur := atomic.LoadUint64(&h.max)
+		if om <= cur {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&h.max, cur, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return atomic.LoadUint64(&h.count) }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() uint64 { return atomic.LoadUint64(&h.sum) }
+
+// Max returns the largest recorded value (exact, not bucket-rounded), or 0
+// when empty.
+func (h *Histogram) Max() int64 {
+	m := atomic.LoadUint64(&h.max)
+	if m == 0 {
+		return 0
+	}
+	return int64(m - 1)
+}
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound of
+// the bucket holding the observation of rank ceil(q*count) (rank 1 for
+// q=0), clamped to Max so p100 is exact. The result is within 1/64
+// relative error of the true order statistic.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		c := atomic.LoadUint64(&h.buckets[i])
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			_, hi := bucketBounds(i)
+			if m := h.Max(); hi > m {
+				return m
+			}
+			return hi
+		}
+	}
+	return h.Max()
+}
+
+// Reset zeroes the histogram. Not safe to run concurrently with writers.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		atomic.StoreUint64(&h.buckets[i], 0)
+	}
+	atomic.StoreUint64(&h.count, 0)
+	atomic.StoreUint64(&h.sum, 0)
+	atomic.StoreUint64(&h.max, 0)
+}
+
+// Snapshot is a point-in-time summary of a histogram: the quantiles the
+// serving SLOs are written against, ready for JSON encoding. Units are
+// whatever the recorder used (nanoseconds throughout this repo).
+type Snapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	P999  int64   `json:"p999_ns"`
+	Max   int64   `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram's current state. Concurrent writers
+// may land between quantile reads; each individual figure is consistent.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot compactly for logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("count=%d mean=%.0fns p50=%d p90=%d p99=%d p999=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}

@@ -1,0 +1,255 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexBounds pins the bucket layout: every value lands in the
+// bucket whose bounds contain it, indices are monotone, and the full
+// non-negative int64 range stays inside the fixed array.
+func TestBucketIndexBounds(t *testing.T) {
+	values := []int64{0, 1, 2, 63, 64, 65, 127, 128, 1000, 4095, 4096,
+		1<<20 - 1, 1 << 20, 1<<40 + 12345, math.MaxInt64 - 1, math.MaxInt64}
+	prev := -1
+	for _, v := range values {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, NumBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d not inside its bucket %d bounds [%d,%d]", v, idx, lo, hi)
+		}
+	}
+	// Exhaustive continuity over the exactly-representable range plus the
+	// first few octaves: consecutive values never skip backward a bucket.
+	for v := int64(1); v < 1<<14; v++ {
+		if bucketIndex(v) < bucketIndex(v-1) {
+			t.Fatalf("bucket regression at %d", v)
+		}
+	}
+}
+
+// TestBucketRelativeError pins the resolution guarantee: a bucket's width
+// never exceeds 1/64 of its lower bound.
+func TestBucketRelativeError(t *testing.T) {
+	for idx := subCount; idx < NumBuckets; idx++ {
+		lo, hi := bucketBounds(idx)
+		if width := hi - lo; width > 0 && float64(width) > float64(lo)/float64(subCount)+1 {
+			t.Fatalf("bucket %d [%d,%d] wider than lo/64", idx, lo, hi)
+		}
+	}
+}
+
+// quantileOracle is the sorted-slice reference: the value of rank
+// ceil(q*n) (1-based), matching Histogram.Quantile's rank rule.
+func quantileOracle(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileVsOracle drives random value distributions through the
+// histogram and checks every reported quantile against the sorted-slice
+// oracle: the histogram's answer must fall in the same bucket as the true
+// order statistic (i.e. within the 1/64 relative-error guarantee), and
+// p100 must be exactly the max.
+func TestQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() int64{
+		"uniform-small": func() int64 { return rng.Int63n(100) },
+		"uniform-wide":  func() int64 { return rng.Int63n(1 << 40) },
+		"exponential":   func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return 1_000_000 + rng.Int63n(1_000_000)
+			}
+			return 1_000 + rng.Int63n(1_000)
+		},
+		"constant": func() int64 { return 4242 },
+	}
+	quantiles := []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		h := New()
+		vals := make([]int64, 5000)
+		for i := range vals {
+			vals[i] = gen()
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range quantiles {
+			got := h.Quantile(q)
+			want := quantileOracle(vals, q)
+			lo, hi := bucketBounds(bucketIndex(want))
+			// Clamping to Max can pull the upper bound below the bucket's hi.
+			if got < lo || got > hi {
+				t.Errorf("%s: Quantile(%v) = %d, oracle %d (bucket [%d,%d])",
+					name, q, got, want, lo, hi)
+			}
+		}
+		if got, want := h.Quantile(1), vals[len(vals)-1]; got != want {
+			t.Errorf("%s: Quantile(1) = %d, want exact max %d", name, got, want)
+		}
+		if got, want := h.Max(), vals[len(vals)-1]; got != want {
+			t.Errorf("%s: Max = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMergeAssociativity pins that (a+b)+c and a+(b+c) — and any other
+// grouping — produce identical bucket states, counts, sums and maxes, so
+// per-worker histograms can fold in any order.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*Histogram, 3)
+	for i := range parts {
+		parts[i] = New()
+		for j := 0; j < 2000; j++ {
+			parts[i].Record(rng.Int63n(1 << uint(10+8*i)))
+		}
+	}
+	leftFold := New() // ((a+b)+c)
+	leftFold.Add(parts[0])
+	leftFold.Add(parts[1])
+	leftFold.Add(parts[2])
+	rightFold := New() // (a+(b+c))
+	bc := New()
+	bc.Add(parts[1])
+	bc.Add(parts[2])
+	rightFold.Add(parts[0])
+	rightFold.Add(bc)
+	if leftFold.buckets != rightFold.buckets {
+		t.Fatal("merge grouping changed bucket contents")
+	}
+	if leftFold.Count() != rightFold.Count() || leftFold.Sum() != rightFold.Sum() || leftFold.Max() != rightFold.Max() {
+		t.Fatalf("merge grouping changed aggregates: (%d,%d,%d) vs (%d,%d,%d)",
+			leftFold.Count(), leftFold.Sum(), leftFold.Max(),
+			rightFold.Count(), rightFold.Sum(), rightFold.Max())
+	}
+	// The merged histogram equals one histogram recording everything.
+	direct := New()
+	for _, p := range parts {
+		direct.Add(p)
+	}
+	if direct.buckets != leftFold.buckets || direct.Count() != leftFold.Count() {
+		t.Fatal("merged histogram differs from direct accumulation")
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines (run
+// under -race in CI) and checks nothing is lost: the total count, sum and
+// max must equal the deterministic expectation.
+func TestConcurrentRecord(t *testing.T) {
+	const workers = 8
+	const perWorker = 20_000
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				h.Record(rng.Int63n(1 << 30))
+				if i%1000 == 0 {
+					_ = h.Quantile(0.99) // readers run concurrently with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	var wantSum uint64
+	var wantMax int64
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWorker; i++ {
+			v := rng.Int63n(1 << 30)
+			wantSum += uint64(v)
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+	}
+	if h.Sum() != wantSum || h.Max() != wantMax {
+		t.Fatalf("Sum/Max = %d/%d, want %d/%d", h.Sum(), h.Max(), wantSum, wantMax)
+	}
+}
+
+// TestConcurrentMerge merges into an aggregate while sources keep
+// recording; the aggregate must see at least the records that finished
+// before each Add and remain race-clean.
+func TestConcurrentMerge(t *testing.T) {
+	src := New()
+	agg := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50_000; i++ {
+			src.Record(int64(i))
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		agg.Add(src)
+	}
+	<-done
+	agg.Add(src) // final fold sees everything
+	if agg.Count() < 50_000 {
+		t.Fatalf("aggregate saw %d records, want >= 50000", agg.Count())
+	}
+}
+
+// TestRecordZeroAllocs pins the hot-path contract: recording (including
+// negative clamp and max update) never allocates.
+func TestRecordZeroAllocs(t *testing.T) {
+	h := New()
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 997
+	}); n != 0 {
+		t.Fatalf("Record allocates %v per op, want 0", n)
+	}
+}
+
+// TestEmptyAndEdge covers the empty histogram and degenerate quantiles.
+func TestEmptyAndEdge(t *testing.T) {
+	h := New()
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative clamp broken: %+v", h.Snapshot())
+	}
+	h.Record(math.MaxInt64)
+	if h.Max() != math.MaxInt64 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P999 != 0 {
+		t.Fatalf("snapshot of reset histogram: %+v", s)
+	}
+}

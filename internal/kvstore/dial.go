@@ -1,29 +1,54 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 )
 
-// DialRetry dials addr with bounded retry and linear backoff: attempt i
-// (0-based) sleeps i*backoff first, so the first try is immediate. It
-// exists for the restart window of a peer daemon — a remote tier whose
-// kvd peer is mid-restart gets a listening socket a moment later instead
-// of a refused connection that would flip the tier into sticky disk
-// degradation. attempts < 1 is treated as 1.
+// DialRetry dials addr with bounded retry and jittered linear backoff; see
+// DialRetryContext. It never gives up early — use the context variant when
+// the caller can be cancelled.
 func DialRetry(network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	return DialRetryContext(context.Background(), network, addr, attempts, backoff)
+}
+
+// DialRetryContext dials addr with bounded retry: attempt i (0-based)
+// first waits i*backoff scaled by a uniform [0.5, 1.5) jitter factor, so
+// the first try is immediate and a fleet of clients reconnecting to a
+// restarted daemon does not arrive in synchronized waves. It exists for
+// the restart window of a peer daemon — a remote tier whose kvd peer is
+// mid-restart gets a listening socket a moment later instead of a refused
+// connection that would flip the tier into sticky disk degradation.
+//
+// ctx cancels the whole sequence, including mid-sleep and mid-dial: the
+// return is then ctx's error, not a dial error. attempts < 1 is treated
+// as 1.
+func DialRetryContext(ctx context.Context, network, addr string, attempts int, backoff time.Duration) (net.Conn, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	var d net.Dialer
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 && backoff > 0 {
-			time.Sleep(time.Duration(i) * backoff)
+			wait := time.Duration((0.5 + rand.Float64()) * float64(time.Duration(i)*backoff))
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
 		}
-		c, err := net.Dial(network, addr)
+		c, err := d.DialContext(ctx, network, addr)
 		if err == nil {
 			return c, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 		lastErr = err
 	}

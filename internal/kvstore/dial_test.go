@@ -1,6 +1,8 @@
 package kvstore
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -60,6 +62,55 @@ func TestDialRetryBoundedFailure(t *testing.T) {
 	// 3 attempts with backoffs 0+5+10ms must not take unbounded time.
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("retry not bounded: %v", elapsed)
+	}
+}
+
+func TestDialRetryContextCancelMidSleep(t *testing.T) {
+	addr := reserveAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// Without cancellation this sequence would sleep for many seconds
+	// (jittered 1s, 2s, 3s, ... backoffs); the cancel must cut the current
+	// sleep short, not just stop further attempts.
+	_, err := DialRetryContext(ctx, "tcp", addr, 100, time.Second)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel did not interrupt the backoff sleep: took %v", elapsed)
+	}
+}
+
+func TestDialRetryContextAlreadyCancelled(t *testing.T) {
+	addr := reserveAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialRetryContext(ctx, "tcp", addr, 5, time.Millisecond); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDialRetryBackoffJittered(t *testing.T) {
+	addr := reserveAddr(t)
+	// 4 attempts with base 20ms: deterministic linear backoff would wait
+	// exactly 20+40+60 = 120ms. The jittered sequence must stay inside
+	// [0.5x, 1.5x] of that, and the total must include real waiting (i.e.
+	// the backoff was not skipped entirely).
+	start := time.Now()
+	_, err := DialRetry("tcp", addr, 4, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond {
+		t.Fatalf("backoff too short for jitter floor: %v", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("backoff unbounded: %v", elapsed)
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"smartmem/internal/mem"
 	"smartmem/internal/tmem"
@@ -107,6 +108,14 @@ var _ Store = (*tmem.Backend)(nil)
 type Server struct {
 	store   Store
 	backend *tmem.Backend // non-nil when the store is (or wraps) a backend
+	metrics *Metrics      // nil when uninstrumented
+
+	// connPool recycles per-connection serving state (bufio reader/writer,
+	// page and frame buffers, batch scratch) across connections, so a churn
+	// of short-lived clients — exactly what an open-loop load generator
+	// ramping connections produces — does not re-allocate ~70 KiB of
+	// arenas per accept.
+	connPool sync.Pool
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -146,6 +155,14 @@ func NewServerStore(store Store) *Server {
 // Backend returns the underlying tmem backend, or nil when the server was
 // built over a store that does not wrap one.
 func (s *Server) Backend() *tmem.Backend { return s.backend }
+
+// SetMetrics attaches serving instrumentation: per-op latency histograms
+// and transport counters recorded lock-free on the serve loop. Call before
+// serving; a nil m disables recording (the default).
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
+
+// Metrics returns the attached instrumentation, or nil.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Serve accepts and serves connections until the listener closes. After a
 // Shutdown-initiated stop it returns nil instead of the accept error.
@@ -227,45 +244,100 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// ServeConn serves one connection until EOF or protocol error. All buffers
-// (header, payload, page, response) are allocated once per connection and
-// reused across requests. Responses are flushed only once the inbound
-// buffer is empty, so a pipelining client pays one write syscall per batch
-// rather than per request.
+// connState is the per-connection serving arena: buffered reader/writer,
+// request header/payload/page buffers, and the batch scratch. A Server
+// recycles these through connPool, so accepting a connection costs a pool
+// get instead of fresh buffer allocations.
+type connState struct {
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	hdr      [reqHeaderSize]byte
+	respHdr  [5]byte
+	countBuf [8]byte
+	buf      []byte // single-op request payload
+	page     []byte // get destination
+	scr      batchScratch
+}
+
+// getConn takes a recycled connection state from the pool (rebinding its
+// bufio pair to c) or builds a fresh one.
+func (s *Server) getConn(c net.Conn, pageSize int) *connState {
+	if v := s.connPool.Get(); v != nil {
+		cs := v.(*connState)
+		cs.br.Reset(c)
+		cs.bw.Reset(c)
+		return cs
+	}
+	return &connState{
+		br:   bufio.NewReaderSize(c, connBufSize),
+		bw:   bufio.NewWriterSize(c, connBufSize),
+		buf:  make([]byte, pageSize),
+		page: make([]byte, pageSize),
+	}
+}
+
+// putConn returns a connection state to the pool, dropping the conn
+// references so a pooled state never pins a closed connection.
+func (s *Server) putConn(cs *connState) {
+	cs.br.Reset(nil)
+	cs.bw.Reset(nil)
+	s.connPool.Put(cs)
+}
+
+// protoErr counts a connection dropped on a malformed or truncated frame
+// when metrics are attached, and passes the error through.
+func (s *Server) protoErr(err error) error {
+	if s.metrics != nil {
+		s.metrics.protoErrors.Add(1)
+	}
+	return err
+}
+
+// ServeConn serves one connection until EOF or protocol error. The serving
+// arena (header, payload, page and batch buffers) comes from the server's
+// connection pool and is reused across requests and across connections.
+// Responses are written header-then-payload straight into the buffered
+// writer — no intermediate response buffer is assembled, so a get never
+// copies its page twice — and flushed only once the inbound buffer is
+// empty, so a pipelining client pays one write syscall per batch of
+// requests rather than per request.
 func (s *Server) ServeConn(c net.Conn) error {
 	defer c.Close()
 	pageSize := int(s.store.PageSize())
-	br := bufio.NewReaderSize(c, connBufSize)
-	bw := bufio.NewWriterSize(c, connBufSize)
+	m := s.metrics
+	if m != nil {
+		m.connsTotal.Add(1)
+		m.connsActive.Add(1)
+		defer m.connsActive.Add(-1)
+	}
+	cs := s.getConn(c, pageSize)
+	defer s.putConn(cs)
+	br, bw := cs.br, cs.bw
+	scr := &cs.scr
 	// On an error return, responses to already-executed pipelined requests
 	// may still sit in bw; deliver them before the deferred Close (defers
 	// run last-in-first-out). Flush errors are moot — the conn is dying.
 	defer func() { _ = bw.Flush() }()
-	hdr := make([]byte, reqHeaderSize)
-	buf := make([]byte, pageSize)
-	page := make([]byte, pageSize)
-	resp := make([]byte, 0, 5+pageSize)
-	var countBuf [8]byte
-	var scr batchScratch // batch frame working state, reused per conn
 	for {
-		if _, err := io.ReadFull(br, hdr); err != nil {
+		if _, err := io.ReadFull(br, cs.hdr[:]); err != nil {
 			if err == io.EOF {
 				return nil
 			}
-			return err
+			return s.protoErr(err)
 		}
-		key, err := tmem.KeyFromWire(hdr[1:17])
+		op := cs.hdr[0]
+		key, err := tmem.KeyFromWire(cs.hdr[1:17])
 		if err != nil {
-			return err
+			return s.protoErr(err)
 		}
-		n := binary.BigEndian.Uint32(hdr[17:21])
-		isBatch := hdr[0] == OpPutBatch || hdr[0] == OpGetBatch
+		n := binary.BigEndian.Uint32(cs.hdr[17:21])
+		isBatch := op == OpPutBatch || op == OpGetBatch
 		limit := pageSize
 		if isBatch {
 			limit = maxBatchPayload(pageSize)
 		}
 		if int(n) > limit {
-			return fmt.Errorf("kvstore: payload %d exceeds limit %d", n, limit)
+			return s.protoErr(fmt.Errorf("kvstore: payload %d exceeds limit %d", n, limit))
 		}
 		var data []byte
 		if isBatch {
@@ -274,21 +346,28 @@ func (s *Server) ServeConn(c net.Conn) error {
 			}
 			data = scr.buf[:n]
 		} else {
-			data = buf[:n]
+			data = cs.buf[:n]
 		}
 		if _, err := io.ReadFull(br, data); err != nil {
-			return err
+			return s.protoErr(err)
 		}
 
+		// Latency is measured from frame-complete to response-enqueued and
+		// recorded into lock-free hdr buckets, so instrumentation never
+		// serializes connection handlers.
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		var status tmem.Status
 		var payload []byte
-		switch hdr[0] {
+		switch op {
 		case OpPut:
 			status = s.store.Put(key, data)
 		case OpGet:
-			status = s.store.Get(key, page)
+			status = s.store.Get(key, cs.page)
 			if status == tmem.STmem {
-				payload = page
+				payload = cs.page
 			}
 		case OpFlushPage:
 			status = s.store.FlushPage(key)
@@ -298,7 +377,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 			var freed mem.Pages
 			freed, status = s.store.FlushObject(key.Pool, key.Object)
 			if status == tmem.STmem {
-				payload = binary.BigEndian.AppendUint64(countBuf[:0], uint64(freed))
+				payload = binary.BigEndian.AppendUint64(cs.countBuf[:0], uint64(freed))
 			}
 		case OpNewPool:
 			pool := s.store.NewPool(tmem.VMID(key.Pool), tmem.PoolKind(key.Object))
@@ -311,7 +390,7 @@ func (s *Server) ServeConn(c net.Conn) error {
 			}
 		case OpPutBatch:
 			if err := scr.parsePutBatch(data, pageSize); err != nil {
-				return err
+				return s.protoErr(err)
 			}
 			s.store.PutBatch(scr.keys, scr.datas, scr.sts)
 			status = tmem.STmem
@@ -322,30 +401,66 @@ func (s *Server) ServeConn(c net.Conn) error {
 			payload = scr.resp
 		case OpGetBatch:
 			if err := scr.parseGetBatch(data, pageSize); err != nil {
-				return err
+				return s.protoErr(err)
 			}
 			s.store.GetBatch(scr.keys, scr.dsts, scr.sts)
-			status = tmem.STmem
-			scr.resp = scr.resp[:0]
-			for i, st := range scr.sts {
-				scr.resp = append(scr.resp, byte(int8(st)))
+			// The batch response streams item by item straight into the
+			// buffered writer — each hit page goes from its slab slot to
+			// the socket buffer once, instead of being assembled into a
+			// response arena (up to MaxBatch pages) and copied again.
+			respLen := 0
+			for _, st := range scr.sts {
+				respLen += 5
 				if st == tmem.STmem {
-					scr.resp = binary.BigEndian.AppendUint32(scr.resp, uint32(pageSize))
-					scr.resp = append(scr.resp, scr.dsts[i]...)
-				} else {
-					scr.resp = binary.BigEndian.AppendUint32(scr.resp, 0)
+					respLen += pageSize
 				}
 			}
-			payload = scr.resp
+			cs.respHdr[0] = byte(int8(tmem.STmem))
+			binary.BigEndian.PutUint32(cs.respHdr[1:], uint32(respLen))
+			if _, err := bw.Write(cs.respHdr[:]); err != nil {
+				return err
+			}
+			var item [5]byte
+			for i, st := range scr.sts {
+				item[0] = byte(int8(st))
+				if st == tmem.STmem {
+					binary.BigEndian.PutUint32(item[1:], uint32(pageSize))
+				} else {
+					binary.BigEndian.PutUint32(item[1:], 0)
+				}
+				if _, err := bw.Write(item[:]); err != nil {
+					return err
+				}
+				if st == tmem.STmem {
+					if _, err := bw.Write(scr.dsts[i]); err != nil {
+						return err
+					}
+				}
+			}
+			if m != nil {
+				m.observe(op, time.Since(start), reqHeaderSize+int(n), 5+respLen)
+			}
+			if br.Buffered() == 0 {
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
+			continue
 		default:
-			return fmt.Errorf("kvstore: unknown op %d", hdr[0])
+			return s.protoErr(fmt.Errorf("kvstore: unknown op %d", op))
 		}
-		resp = resp[:0]
-		resp = append(resp, byte(int8(status)))
-		resp = binary.BigEndian.AppendUint32(resp, uint32(len(payload)))
-		resp = append(resp, payload...)
-		if _, err := bw.Write(resp); err != nil {
+		cs.respHdr[0] = byte(int8(status))
+		binary.BigEndian.PutUint32(cs.respHdr[1:], uint32(len(payload)))
+		if _, err := bw.Write(cs.respHdr[:]); err != nil {
 			return err
+		}
+		if len(payload) > 0 {
+			if _, err := bw.Write(payload); err != nil {
+				return err
+			}
+		}
+		if m != nil {
+			m.observe(op, time.Since(start), reqHeaderSize+int(n), 5+len(payload))
 		}
 		// Pipelining: flush only when no further request is already
 		// buffered — the next ReadFull would otherwise block with

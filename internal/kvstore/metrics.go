@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"sync/atomic"
+	"time"
+
+	"smartmem/internal/hdr"
+)
+
+// opNames names every wire op for metrics labels; index is the op byte.
+var opNames = [OpGetBatch + 1]string{
+	OpPut:         "put",
+	OpGet:         "get",
+	OpFlushPage:   "flush_page",
+	OpFlushObject: "flush_object",
+	OpNewPool:     "new_pool",
+	OpDestroyPool: "destroy_pool",
+	OpPutBatch:    "put_batch",
+	OpGetBatch:    "get_batch",
+}
+
+// OpName returns the metrics label of a wire op byte ("" for unknown).
+func OpName(op byte) string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return ""
+}
+
+// Ops returns every wire op byte in protocol order, for metrics iteration.
+func Ops() []byte {
+	return []byte{OpPut, OpGet, OpFlushPage, OpFlushObject, OpNewPool,
+		OpDestroyPool, OpPutBatch, OpGetBatch}
+}
+
+// Metrics is the serving-side instrumentation a Server records into when
+// one is attached via SetMetrics: per-op latency histograms plus transport
+// counters. Recording is lock-free (hdr atomic buckets, atomic counters)
+// and allocation-free, so it stays off every lock path — connection
+// handlers on different cores never serialize on it. All methods are safe
+// for concurrent use; the read side (snapshots for /metrics) runs
+// concurrently with recording.
+type Metrics struct {
+	hists [OpGetBatch + 1]hdr.Histogram
+
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	connsTotal  atomic.Uint64
+	connsActive atomic.Int64
+	protoErrors atomic.Uint64
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// OpHistogram returns the latency histogram (nanoseconds) of one wire op.
+// The pointer is stable for the lifetime of the Metrics.
+func (m *Metrics) OpHistogram(op byte) *hdr.Histogram {
+	return &m.hists[op]
+}
+
+// observe records one served request: latency by op, frame sizes in and
+// out. Unknown ops are dropped (the conn dies right after anyway).
+func (m *Metrics) observe(op byte, dur time.Duration, inBytes, outBytes int) {
+	if int(op) >= len(m.hists) || opNames[op] == "" {
+		return
+	}
+	m.hists[op].Record(dur.Nanoseconds())
+	m.bytesIn.Add(uint64(inBytes))
+	m.bytesOut.Add(uint64(outBytes))
+}
+
+// BytesIn returns the total request bytes read off served connections.
+func (m *Metrics) BytesIn() uint64 { return m.bytesIn.Load() }
+
+// BytesOut returns the total response bytes written to served connections.
+func (m *Metrics) BytesOut() uint64 { return m.bytesOut.Load() }
+
+// ConnsTotal returns the number of connections ever served.
+func (m *Metrics) ConnsTotal() uint64 { return m.connsTotal.Load() }
+
+// ConnsActive returns the number of connections being served right now.
+func (m *Metrics) ConnsActive() int64 { return m.connsActive.Load() }
+
+// ProtoErrors returns the number of connections dropped on a protocol
+// violation (malformed frame, oversized payload, unknown op).
+func (m *Metrics) ProtoErrors() uint64 { return m.protoErrors.Load() }

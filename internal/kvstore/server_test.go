@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -234,6 +235,98 @@ func benchServer(b *testing.B, shards int) {
 			if st, err := cl.FlushPage(key); err != nil || st != tmem.STmem {
 				b.Errorf("Flush = %v, %v", st, err)
 				return
+			}
+		}
+	})
+}
+
+// BenchmarkKVServerPipelined measures the serve loop the way the open-loop
+// load generator drives it: requests streamed without waiting for
+// responses, so the per-op cost is the server's read-dispatch-write work
+// rather than a loopback round trip. The get case pins the single-copy
+// response path (page -> socket buffer, no response arena); the
+// get-batch case pins the streamed batch response (one copy per page
+// instead of three).
+func BenchmarkKVServerPipelined(b *testing.B) {
+	newServed := func(b *testing.B) (*tmem.Backend, net.Addr) {
+		backend := shardedBackend(1<<18, 1)
+		srv := NewServer(backend)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Skipf("loopback unavailable: %v", err)
+		}
+		b.Cleanup(func() { l.Close() })
+		go func() { _ = srv.Serve(l) }()
+		return backend, l.Addr()
+	}
+	const seeded = 1024
+	seed := func(backend *tmem.Backend) tmem.PoolID {
+		pool := backend.NewPool(1, tmem.Persistent)
+		pl := page(0xCD)
+		for i := 0; i < seeded; i++ {
+			key := tmem.Key{Pool: pool, Object: tmem.ObjectID(i >> 6), Index: tmem.PageIndex(i)}
+			if st := backend.Put(key, pl); st != tmem.STmem {
+				b.Fatalf("seed put = %v", st)
+			}
+		}
+		return pool
+	}
+
+	b.Run("get", func(b *testing.B) {
+		backend, addr := newServed(b)
+		pool := seed(backend)
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		b.SetBytes(pageSize)
+		b.ResetTimer()
+		go func() {
+			bw := bufio.NewWriterSize(conn, 64<<10)
+			var req [reqHeaderSize]byte
+			req[0] = OpGet
+			for i := 0; i < b.N; i++ {
+				key := tmem.Key{Pool: pool, Object: tmem.ObjectID(i % seeded >> 6), Index: tmem.PageIndex(i % seeded)}
+				key.AppendWire(req[1:1])
+				if _, err := bw.Write(req[:]); err != nil {
+					return
+				}
+			}
+			_ = bw.Flush()
+		}()
+		br := bufio.NewReaderSize(conn, 64<<10)
+		resp := make([]byte, 5+pageSize)
+		for i := 0; i < b.N; i++ {
+			if _, err := io.ReadFull(br, resp); err != nil {
+				b.Fatalf("response %d: %v", i, err)
+			}
+			if st := tmem.Status(int8(resp[0])); st != tmem.STmem {
+				b.Fatalf("get %d = %v", i, st)
+			}
+		}
+	})
+
+	b.Run("get-batch-256", func(b *testing.B) {
+		backend, addr := newServed(b)
+		pool := seed(backend)
+		conn, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl := NewClient(conn, pageSize)
+		defer cl.Close()
+		keys := make([]tmem.Key, MaxBatch)
+		sts := make([]tmem.Status, MaxBatch)
+		for i := range keys {
+			keys[i] = tmem.Key{Pool: pool, Object: tmem.ObjectID(i % seeded >> 6), Index: tmem.PageIndex(i % seeded)}
+		}
+		b.SetBytes(pageSize)
+		b.ResetTimer()
+		for done := 0; done < b.N; done += len(keys) {
+			n := min(len(keys), b.N-done)
+			if err := cl.GetBatch(keys[:n], nil, sts[:n]); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

@@ -1,0 +1,22 @@
+package sinks
+
+import (
+	"smartmem/internal/hdr"
+)
+
+// EncodeHistogram flattens an hdr latency snapshot into the JSON-ready map
+// shape shared by the loadgen report (cmd/smartmem-loadgen -json) and any
+// custom sink that wants to ship latency summaries next to run events.
+// Units are nanoseconds, matching the recording convention everywhere in
+// this repo.
+func EncodeHistogram(s hdr.Snapshot) map[string]any {
+	return map[string]any{
+		"count":   s.Count,
+		"mean_ns": round(s.Mean),
+		"p50_ns":  s.P50,
+		"p90_ns":  s.P90,
+		"p99_ns":  s.P99,
+		"p999_ns": s.P999,
+		"max_ns":  s.Max,
+	}
+}
