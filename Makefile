@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench bench-json bench-gate load-smoke profile report clean
+.PHONY: all build test race vet lint fmt bench bench-json bench-gate load-smoke load-smoke-durable profile report clean
 
 all: build lint test
 
@@ -26,7 +26,10 @@ fmt:
 	gofmt -l -w .
 
 # Quick engine benchmarks (one iteration each); the full figure benches
-# live in bench_test.go. The store/daemon concurrency benches compare the
+# live in bench_test.go. BenchmarkRunCluster (sequential vs parallel
+# cluster runtime) runs without -benchmem: the parallel mode's allocation
+# count wobbles by a few dozen with goroutine scheduling, which would trip
+# the gate's absolute allocs/op rule. The store/daemon concurrency benches compare the
 # striped hot path against the shards-1 (single-mutex) baseline, the
 # remote-tier bench shows overflow absorbed by a peer store instead of
 # failing to the disk-swap path (its -batch variants report transport
@@ -35,6 +38,7 @@ fmt:
 # regressions are visible in the output and in BENCH.json.
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkRunCluster' -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
 	$(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
@@ -53,6 +57,7 @@ bench:
 bench-json:
 	@tmp=$$(mktemp); \
 	{ $(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' . && \
+	  $(GO) test -bench 'BenchmarkRunCluster' -benchtime 1x -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim && \
 	  $(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
 	  $(GO) test -bench 'BenchmarkRemoteTier' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
@@ -82,6 +87,19 @@ load-smoke:
 	@mkdir -p bench-out
 	$(GO) run ./cmd/smartmem-loadgen -inprocess -rate 2000 -duration 5s -conns 2 -keys 8192 -json bench-out/load-smoke.json
 	$(GO) run ./cmd/smartmem-benchgate -load bench-out/load-smoke.json -min-rate 1800 -max-p99 50ms
+
+# Same SLO gate with the kvd's durable journal write-through under the
+# store (segmented WAL in a throwaway directory, interval fsync): every
+# put/flush commits to the log before acking, so this catches commit-path
+# latency regressions the memory-only smoke can't see. The p99 ceiling is
+# doubled: fsync stalls ride the runner's filesystem.
+load-smoke-durable:
+	@mkdir -p bench-out
+	@rm -rf bench-out/durable-smoke && mkdir -p bench-out/durable-smoke
+	$(GO) run ./cmd/smartmem-loadgen -inprocess -durable bench-out/durable-smoke -fsync interval \
+		-rate 2000 -duration 5s -conns 2 -keys 8192 -json bench-out/load-smoke-durable.json
+	$(GO) run ./cmd/smartmem-benchgate -load bench-out/load-smoke-durable.json -min-rate 1800 -max-p99 100ms
+	@rm -rf bench-out/durable-smoke
 
 # Profile a tier-stack-heavy run (kv-heavy hammers the striped store; swap
 # -scenario cluster-2 to profile the cluster runtime). Inspect with:

@@ -361,3 +361,57 @@ func BenchmarkEngine_ScaleScenario(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRunCluster measures the cluster runtime itself — one full
+// cluster-2-shaped run per iteration, tiled to the requested node count —
+// sequential single-kernel vs parallel per-node kernels. The two modes
+// produce byte-identical Results (differential-tested in core and
+// experiments); the benchmark exists to track the wall-clock gap: on a
+// multi-core box nodes-8/par should approach a per-core speedup, and on
+// the 1-CPU CI runner par must stay within budget of seq (gating the
+// synchronization overhead).
+func BenchmarkRunCluster(b *testing.B) {
+	scn, err := experiments.BySlug("cluster-2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(nodes int) core.ClusterConfig {
+		cc, err := scn.BuildCluster(benchSeeds[0], "smart-alloc:P=2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for len(cc.Nodes) < nodes {
+			// Fresh BuildCluster per tile: every node pair keeps its own
+			// stop flag and milestone counters.
+			next, err := scn.BuildCluster(benchSeeds[0], "smart-alloc:P=2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cc.Nodes = append(cc.Nodes, next.Nodes...)
+		}
+		return cc
+	}
+	for _, nodes := range []int{2, 8} {
+		for _, mode := range []struct {
+			name     string
+			parallel bool
+		}{{"seq", false}, {"par", true}} {
+			b.Run(fmt.Sprintf("nodes-%d/%s", nodes, mode.name), func(b *testing.B) {
+				var end sim.Time
+				for i := 0; i < b.N; i++ {
+					cc := build(nodes)
+					cc.Parallel = mode.parallel
+					res, err := core.RunCluster(cc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.HitLimit {
+						b.Fatal("cluster run hit the virtual-time limit")
+					}
+					end = res.EndTime
+				}
+				b.ReportMetric(end.Seconds(), "virt-s")
+			})
+		}
+	}
+}

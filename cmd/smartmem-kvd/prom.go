@@ -5,7 +5,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
+	"smartmem/internal/hdr"
 	"smartmem/internal/kvstore"
 	"smartmem/internal/tmem"
 )
@@ -15,14 +18,117 @@ import (
 // already serves. Everything is read with atomic loads at scrape time —
 // the wire latency summaries come straight out of the kvstore.Metrics hdr
 // histograms, so a scrape never touches a lock the serving path holds.
+//
+// Besides the cumulative summaries, the handler remembers each op
+// histogram's State from the previous scrape and diffs it against the
+// current one, exposing interval families (request rate and latency
+// quantiles over just the scrape-to-scrape window). Cumulative quantiles
+// flatten toward the long-run mix within minutes of uptime; the interval
+// view is what a dashboard actually wants to alert on.
 func promHandler(node kvNode, m *kvstore.Metrics) http.Handler {
+	return promHandlerClock(node, m, time.Now)
+}
+
+// promHandlerClock is promHandler with an injectable wall clock (tests pin
+// the scrape interval with it).
+func promHandlerClock(node kvNode, m *kvstore.Metrics, now func() time.Time) http.Handler {
+	st := &intervalState{now: now}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var b strings.Builder
 		writeWireMetrics(&b, m)
+		writeIntervalMetrics(&b, m, st)
 		writeStoreMetrics(&b, node)
 		_, _ = w.Write([]byte(b.String()))
 	})
+}
+
+// intervalState carries one scrape's histogram States to the next. The
+// mutex only serializes concurrent scrapers against each other — the
+// serving path never touches it.
+type intervalState struct {
+	mu   sync.Mutex
+	now  func() time.Time
+	last time.Time
+	prev map[byte]hdr.State // op → State; nil until the first scrape completes
+}
+
+// writeIntervalMetrics emits the scrape-to-scrape families: per-op request
+// rate and interval latency quantiles, derived by diffing the op
+// histograms' States against the previous scrape. The first scrape has no
+// baseline and emits nothing (it only seeds the States); ops quiet over
+// the whole interval are omitted.
+func writeIntervalMetrics(b *strings.Builder, m *kvstore.Metrics, st *intervalState) {
+	if m == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	now := st.now()
+	cur := make(map[byte]hdr.State)
+	for _, op := range kvstore.Ops() {
+		if h := m.OpHistogram(op); h != nil {
+			cur[op] = h.State()
+		}
+	}
+	prev, last := st.prev, st.last
+	st.prev, st.last = cur, now
+	if prev == nil {
+		return
+	}
+	elapsed := now.Sub(last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+
+	type opDelta struct {
+		name string
+		d    hdr.Snapshot
+	}
+	var deltas []opDelta
+	for _, op := range kvstore.Ops() {
+		c, ok := cur[op]
+		if !ok {
+			continue
+		}
+		// An op first seen this interval diffs against the zero State,
+		// which correctly attributes all of its activity to the interval.
+		if d := hdr.DeltaSnapshot(c, prev[op]); d.Count > 0 {
+			deltas = append(deltas, opDelta{kvstore.OpName(op), d})
+		}
+	}
+	if len(deltas) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "# HELP smartmem_op_interval_rate Requests per second over the last scrape interval, by op.\n")
+	fmt.Fprintf(b, "# TYPE smartmem_op_interval_rate gauge\n")
+	for _, od := range deltas {
+		fmt.Fprintf(b, "smartmem_op_interval_rate{op=%q} %g\n", od.name, float64(od.d.Count)/elapsed)
+	}
+	fmt.Fprintf(b, "# HELP smartmem_op_interval_latency_seconds Wire request latency over the last scrape interval, by op.\n")
+	fmt.Fprintf(b, "# TYPE smartmem_op_interval_latency_seconds summary\n")
+	for _, od := range deltas {
+		for _, pq := range promQuantiles {
+			var v int64
+			switch pq.q {
+			case 0.50:
+				v = od.d.P50
+			case 0.90:
+				v = od.d.P90
+			case 0.99:
+				v = od.d.P99
+			default:
+				v = od.d.P999
+			}
+			fmt.Fprintf(b, "smartmem_op_interval_latency_seconds{op=%q,quantile=%q} %g\n",
+				od.name, pq.label, float64(v)/1e9)
+		}
+		fmt.Fprintf(b, "smartmem_op_interval_latency_seconds_sum{op=%q} %g\n",
+			od.name, od.d.Mean*float64(od.d.Count)/1e9)
+		fmt.Fprintf(b, "smartmem_op_interval_latency_seconds_count{op=%q} %d\n", od.name, od.d.Count)
+	}
 }
 
 // quantiles published per op. Prometheus summary convention: the op's

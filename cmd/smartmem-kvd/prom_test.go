@@ -72,6 +72,7 @@ func TestPromHandler(t *testing.T) {
 
 	// The put p50 must round-trip through the histogram to ~1ms in
 	// seconds (hdr upper-bound error is <= 1/64).
+	found := false
 	for _, line := range strings.Split(body, "\n") {
 		if strings.HasPrefix(line, `smartmem_op_latency_seconds{op="put",quantile="0.5"} `) {
 			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
@@ -81,8 +82,106 @@ func TestPromHandler(t *testing.T) {
 			if v < 0.001 || v > 0.00102 {
 				t.Errorf("put p50 = %gs, want ~1ms", v)
 			}
-			return
+			found = true
+			break
 		}
 	}
-	t.Error("no put p50 sample found")
+	if !found {
+		t.Error("no put p50 sample found")
+	}
+	// First scrape has no baseline: interval families must be absent.
+	if strings.Contains(body, "smartmem_op_interval_") {
+		t.Error("first scrape exposes interval families without a baseline")
+	}
+}
+
+// promSample extracts the value of the first sample line with the given
+// prefix, or fails the test.
+func promSample(t *testing.T, body, prefix string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample with prefix %q", prefix)
+	return 0
+}
+
+// TestPromHandlerIntervalFamilies drives two scrapes with recording in
+// between and a pinned 10s wall-clock gap: the second scrape must expose
+// per-op interval rate and latency quantiles computed over just that
+// window, while the cumulative summary keeps counting from process start.
+func TestPromHandlerIntervalFamilies(t *testing.T) {
+	backend := newBackend(mem.Pages(64), 1)
+	m := kvstore.NewMetrics()
+	node := kvNode{store: backend, backend: backend, metrics: m}
+
+	// Injectable clock: each scrape advances wall time by 10s.
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	srv := httptest.NewServer(promHandlerClock(node, m, now))
+	defer srv.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return string(raw)
+	}
+
+	// Pre-baseline activity: 1000 slow puts that must NOT leak into the
+	// interval view.
+	for i := 0; i < 1000; i++ {
+		m.OpHistogram(kvstore.OpPut).Record(int64(100 * time.Millisecond))
+	}
+	first := scrape()
+	if strings.Contains(first, "smartmem_op_interval_") {
+		t.Fatal("baseline scrape exposes interval families")
+	}
+
+	// Interval activity: 50 fast puts over a pinned 10s window.
+	for i := 0; i < 50; i++ {
+		m.OpHistogram(kvstore.OpPut).Record(int64(time.Millisecond))
+	}
+	clock = clock.Add(10 * time.Second)
+	second := scrape()
+
+	if rate := promSample(t, second, `smartmem_op_interval_rate{op="put"} `); rate != 5 {
+		t.Errorf("interval rate = %g req/s, want 50/10s = 5", rate)
+	}
+	if n := promSample(t, second, `smartmem_op_interval_latency_seconds_count{op="put"} `); n != 50 {
+		t.Errorf("interval count = %g, want 50", n)
+	}
+	// Interval p99 reflects only the 1ms records; the cumulative p99 is
+	// still dominated by the 100ms pre-baseline batch.
+	ip99 := promSample(t, second, `smartmem_op_interval_latency_seconds{op="put",quantile="0.99"} `)
+	if ip99 < 0.001 || ip99 > 0.00102 {
+		t.Errorf("interval p99 = %gs, want ~1ms", ip99)
+	}
+	if cp99 := promSample(t, second, `smartmem_op_latency_seconds{op="put",quantile="0.99"} `); cp99 < 0.09 {
+		t.Errorf("cumulative p99 = %gs, want ~100ms (history must stay)", cp99)
+	}
+
+	// A quiet op stays out of the interval families entirely.
+	if strings.Contains(second, `smartmem_op_interval_rate{op="get"}`) {
+		t.Error("quiet op leaked into interval families")
+	}
+
+	// Third scrape with no activity: interval families disappear again.
+	clock = clock.Add(10 * time.Second)
+	if third := scrape(); strings.Contains(third, "smartmem_op_interval_") {
+		t.Error("idle interval still exposes interval families")
+	}
 }

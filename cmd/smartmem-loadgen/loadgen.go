@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smartmem/internal/durable"
 	"smartmem/internal/hdr"
 	"smartmem/internal/kvstore"
 	"smartmem/internal/mem"
@@ -433,6 +434,50 @@ func StartInprocess(pages int64, shards, pageSize int) (addr string, stop func()
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// StartInprocessDurable is StartInprocess with the kvd's -durable journal
+// write-through underneath: puts, flushes and pool ops commit to a
+// segmented WAL under dir before acking, through the same
+// NewDirStore → Open → NewStore → Recover chain the daemon boots with.
+// This is the store the durable SLO smoke drives — wire-rate latency with
+// the commit path in the loop instead of memory-only acks.
+func StartInprocessDurable(pages int64, shards, pageSize int, dir string, fp durable.FsyncPolicy) (addr string, stop func(), err error) {
+	backend := tmem.NewBackendOpts(mem.Pages(pages), tmem.Options{
+		Shards:   shards,
+		NewStore: func() tmem.PageStore { return tmem.NewDataStore(pageSize) },
+	})
+	blob, err := durable.NewDirStore(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	dlog, err := durable.Open(durable.Options{
+		Blob:     blob,
+		PageSize: pageSize,
+		Fsync:    fp,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	dstore := durable.NewStore(backend, dlog)
+	if _, err := dstore.Recover(); err != nil {
+		dlog.Close()
+		return "", nil, err
+	}
+	srv := kvstore.NewServerStore(dstore)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		dlog.Close()
+		return "", nil, err
+	}
+	go func() { _ = srv.Serve(l) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = dlog.Close()
 	}
 	return l.Addr().String(), stop, nil
 }

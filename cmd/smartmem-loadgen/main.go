@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"smartmem/internal/durable"
 	"smartmem/sinks"
 )
 
@@ -58,6 +59,8 @@ func main() {
 		inprocess   = flag.Bool("inprocess", false, "serve an in-process loopback store instead of dialing -addr (self-contained smoke)")
 		inprocPages = flag.Int64("inprocess-pages", 1<<17, "store capacity in pages for -inprocess")
 		inprocShard = flag.Int("inprocess-shards", 0, "store shards for -inprocess; 0 means GOMAXPROCS")
+		durDir      = flag.String("durable", "", "with -inprocess: journal the store through a WAL under this directory (smartmem-kvd -durable equivalent)")
+		fsyncStr    = flag.String("fsync", "interval", "durable commit policy for -durable: always, interval or off")
 		quiet       = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
@@ -82,12 +85,23 @@ func main() {
 		if shards <= 0 {
 			shards = runtime.GOMAXPROCS(0)
 		}
-		inAddr, stop, err := StartInprocess(*inprocPages, shards, *pageSize)
+		var inAddr string
+		var stop func()
+		if *durDir != "" {
+			fp, ferr := durable.ParseFsync(*fsyncStr)
+			fatalIf(ferr)
+			inAddr, stop, err = StartInprocessDurable(*inprocPages, shards, *pageSize, *durDir, fp)
+		} else {
+			inAddr, stop, err = StartInprocess(*inprocPages, shards, *pageSize)
+		}
 		fatalIf(err)
 		defer stop()
 		cfg.Addr = inAddr
 	} else if cfg.Addr == "" {
 		fmt.Fprintln(os.Stderr, "smartmem-loadgen: -addr or -inprocess is required")
+		os.Exit(2)
+	} else if *durDir != "" {
+		fmt.Fprintln(os.Stderr, "smartmem-loadgen: -durable requires -inprocess (the daemon owns durability when dialing -addr)")
 		os.Exit(2)
 	}
 

@@ -50,6 +50,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		listPol  = fs.Bool("list-policies", false, "list registered policies and exit")
 		times    = fs.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
+		clusterP = fs.Bool("cluster-parallel", false, "run cluster scenarios with one kernel per node on its own goroutine (results are byte-identical to the sequential runtime)")
 		quiet    = fs.Bool("quiet", false, "suppress live progress on stderr")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -126,6 +127,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			}
 		})
 		opt := smartmem.ExperimentOptions{Parallelism: *parallel}
+		if *clusterP {
+			opt.ClusterParallel = experiments.ClusterParallelOn
+		}
 		if !*quiet {
 			opt.OnProgress = func(done, total int, j smartmem.ExperimentJob) {
 				fmt.Fprintf(stderr, "\r[%d/%d] %-48s", done, total, j.String())
@@ -191,6 +195,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		cc.Parallel = *clusterP
 		sess, err = smartmem.NewClusterSession(cc, opts...)
 		if err != nil {
 			return fail(err)

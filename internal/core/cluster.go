@@ -31,6 +31,13 @@ type ClusterConfig struct {
 	// node cannot hold locally then land in the peer's RAM instead of the
 	// guest's swap disk. Ignored with fewer than two nodes.
 	RemoteTmem bool
+	// Parallel runs each node's kernel on its own goroutine, conservatively
+	// synchronized on the remote-tier traffic so the merged Result is
+	// byte-identical to the sequential (Parallel=false) run — see
+	// parallel.go for the protocol. Ignored with fewer than two nodes.
+	// Node configs must not share mutable state (the stock scenarios
+	// allocate their stop flags and milestone counters per node).
+	Parallel bool
 }
 
 // RemoteGuestBase is the VM-id namespace remote-tier pages are accounted
@@ -83,6 +90,9 @@ func RunClusterWith(ctx context.Context, cc ClusterConfig, obs Observer) (*Resul
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if cc.Parallel && len(cfgs) > 1 {
+		return runClusterParallel(ctx, cc, cfgs, obs)
 	}
 
 	// One simulated clock for the whole cluster, seeded from node 0; each

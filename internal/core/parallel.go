@@ -1,0 +1,353 @@
+// Parallel cluster execution: one sim.Kernel per node, each on its own
+// goroutine, conservatively synchronized on the only cross-node coupling
+// the runtime has — remote-tier page traffic over the in-process Loopback
+// transport. The merged event order is (virtual time, node index), the same
+// order the sequential single-kernel runtime produces (procs are spawned in
+// node order, so same-time events tie-break node-major there too), which
+// makes the parallel Result byte-identical to the sequential one.
+//
+// Protocol. Every node publishes a conservative lower bound on its own
+// clock — the timestamp of its next event, published *before* the event
+// executes — through a nodeClock. A cross-node operation at local time t
+// must wait until the clock of every node whose events could precede it in
+// the merged order has passed t:
+//
+//   - node i's injections into its ring successor j=(i+1)%N (the Loopback
+//     gate) wait until bound_j > t when j < i, else bound_j >= t;
+//   - node j's own store operations (the Backend owner gate) wait until
+//     bound_i > t for its ring predecessor i=(j-1+N)%N when i < j, else
+//     bound_i >= t.
+//
+// The strictness rule is uniform: watching a lower-indexed node requires
+// its bound to pass t strictly, because that node's time-t events come
+// first in the merged order. Publish-before-execute makes the pair of
+// gates mutually exclusive at equal timestamps (both sides inside the same
+// store at times t_i, t_j would need t_i >= t_j and t_j >= t_i with one
+// inequality strict — impossible) and deadlock-free (the blocked node with
+// the globally minimal (bound, index) always passes its gates, because
+// every bound it watches belongs to a node that is later in merged order).
+// A node goroutine that exits — queue drained, limit hit, cancellation,
+// even a panic — poisons its bound to MaxInt64 on the way out, so peers
+// gated on it unblock promptly.
+//
+// Nodes without a wired remote tier (TmemEnabled false on either ring
+// endpoint, or RemoteTmem off) share no mutable state at all and run
+// completely free.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"smartmem/internal/metrics"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// clockSpin bounds the Gosched spin a gate performs before parking on the
+// condition variable. Bounds are published at event granularity, so most
+// waits resolve within a few scheduler yields; the bound keeps the spin
+// harmless on a single-CPU box.
+const clockSpin = 64
+
+// nodeClock is one node's published conservative clock bound. The owning
+// node's goroutine is the only publisher; any peer may wait.
+type nodeClock struct {
+	bound   atomic.Int64
+	waiters atomic.Int32
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+func newNodeClock() *nodeClock {
+	c := &nodeClock{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// publish raises the bound to t (monotonic; lower or equal values are
+// ignored). The broadcast is taken only when a waiter is registered, so the
+// uncontended per-event cost is one atomic store and one atomic load.
+func (c *nodeClock) publish(t int64) {
+	if t <= c.bound.Load() {
+		return
+	}
+	c.bound.Store(t)
+	// Store(bound) precedes Load(waiters); a waiter registers before
+	// re-checking the bound. Under Go's sequentially consistent atomics one
+	// of the two must observe the other, so no wakeup is ever lost.
+	if c.waiters.Load() != 0 {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// wait blocks until the bound passes t: strictly greater when strict,
+// greater-or-equal otherwise (strict = the watched node's same-time events
+// precede the waiter's in merged order).
+func (c *nodeClock) wait(t int64, strict bool) {
+	ok := func() bool {
+		b := c.bound.Load()
+		if strict {
+			return b > t
+		}
+		return b >= t
+	}
+	if ok() {
+		return
+	}
+	for i := 0; i < clockSpin; i++ {
+		runtime.Gosched()
+		if ok() {
+			return
+		}
+	}
+	c.mu.Lock()
+	c.waiters.Add(1)
+	for !ok() {
+		c.cond.Wait()
+	}
+	c.waiters.Add(-1)
+	c.mu.Unlock()
+}
+
+// lockedObserver serializes the shared external observer: node goroutines
+// emit concurrently, and observers are written against the sequential
+// runtime's one-event-at-a-time contract. Cross-node event *order* seen by
+// the observer is not deterministic — only the merged Result is.
+type lockedObserver struct {
+	mu  sync.Mutex
+	obs Observer
+}
+
+func (l *lockedObserver) OnEvent(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs.OnEvent(e)
+}
+
+// runClusterParallel is the Parallel=true body of RunClusterWith. cfgs is
+// the normalized node list (len > 1).
+func runClusterParallel(ctx context.Context, cc ClusterConfig, cfgs []Config, obs Observer) (*Result, error) {
+	var limit sim.Duration
+	for _, cfg := range cfgs {
+		if cfg.Limit > limit {
+			limit = cfg.Limit
+		}
+	}
+
+	res := &Result{
+		PolicyName: clusterPolicyName(cfgs),
+		Seed:       cfgs[0].Seed,
+		Series:     metrics.NewSet(),
+	}
+	cancelled := cancelHook(ctx)
+
+	nn := len(cfgs)
+	nodes := make([]*nodeRuntime, nn)
+	for i, cfg := range cfgs {
+		tag := fmt.Sprintf("n%d", i)
+		n, err := newNodeRuntime(cfg, tag, tag+"/")
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = n
+	}
+
+	// Ring wiring identical to the sequential path, keeping the Loopback
+	// handles so the injection gates can be installed on them below.
+	loops := make([]*tmem.Loopback, nn)
+	if cc.RemoteTmem && nn > 1 {
+		for i, n := range nodes {
+			peer := nodes[(i+1)%nn]
+			if n.backend == nil || peer.backend == nil {
+				continue
+			}
+			lb := tmem.NewLoopback(peer.backend)
+			tier := tmem.NewRemoteTier(
+				"remote("+peer.tag+")",
+				lb,
+				RemoteGuestBase+tmem.VMID(i),
+			)
+			n.backend.AttachTier(tier)
+			n.remote = tier
+			peer.names.add(RemoteGuestBase+tmem.VMID(i), n.tag+"/remote")
+			loops[i] = lb
+		}
+	}
+
+	// One kernel and one published clock per node. Every kernel gets the
+	// cluster-wide limit, exactly like the single shared kernel did. The
+	// per-kernel root RNGs go unused: the shared root stream below is the
+	// one the determinism contract consumes.
+	kerns := make([]*sim.Kernel, nn)
+	clocks := make([]*nodeClock, nn)
+	for i := range kerns {
+		kerns[i] = sim.NewKernel(cfgs[0].Seed)
+		kerns[i].SetLimit(sim.Time(limit))
+		clocks[i] = newNodeClock()
+	}
+
+	if obs != nil {
+		obs = &lockedObserver{obs: obs}
+	}
+
+	// Start every node against one shared root stream, in node order, on
+	// this goroutine — the exact consumption pattern of the sequential
+	// runtime (sim.NewKernel seeds its root RNG as sim.NewRNG(seed), and
+	// all splits happen inside start, before any event runs). Each node
+	// records into its own Result shard; the shards merge deterministically
+	// after the join.
+	rootRNG := sim.NewRNG(cfgs[0].Seed)
+	shards := make([]*Result, nn)
+	for i, n := range nodes {
+		shards[i] = &Result{Series: metrics.NewSet()}
+		n.start(kerns[i], rootRNG, obs, shards[i], cancelled)
+	}
+
+	// Gates go in only after start: node assembly calls the gated owner
+	// surface (RegisterVM and friends) on this goroutine, before any bound
+	// has been published.
+	for i := range nodes {
+		if loops[i] == nil {
+			continue
+		}
+		i := i
+		j := (i + 1) % nn
+		loops[i].SetGate(func() {
+			clocks[j].wait(int64(kerns[i].Now()), j < i)
+		})
+		nodes[j].backend.SetGate(func() {
+			clocks[i].wait(int64(kerns[j].Now()), i < j)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Poison the bound on any exit so gated peers never wait on a
+			// finished (or crashed) node.
+			defer clocks[i].publish(math.MaxInt64)
+			parRunLoop(kerns[i], clocks[i], ctx, cancelled, shards[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// Single-threaded epilogue: drop the gates, then drain and finalize in
+	// node order exactly like the sequential path.
+	for i := range nodes {
+		if loops[i] == nil {
+			continue
+		}
+		loops[i].SetGate(nil)
+		nodes[(i+1)%nn].backend.SetGate(nil)
+	}
+	for _, kern := range kerns {
+		kern.KillAll()
+	}
+
+	for _, sh := range shards {
+		res.Runs = append(res.Runs, sh.Runs...)
+		if sh.EndTime > res.EndTime {
+			res.EndTime = sh.EndTime
+		}
+		res.HitLimit = res.HitLimit || sh.HitLimit
+		res.Cancelled = res.Cancelled || sh.Cancelled
+	}
+	mergeShardSeries(res.Series, shards)
+
+	var errs []error
+	for _, n := range nodes {
+		if err := n.finalize(res); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	sortRuns(res.Runs)
+
+	em := &emitter{}
+	if obs != nil {
+		em.obs = obs
+	}
+	em.emit(RunFinished{At: res.EndTime, Cancelled: res.Cancelled, Result: res})
+
+	if res.Cancelled {
+		return res, context.Cause(ctx)
+	}
+	return res, nil
+}
+
+// parRunLoop is runLoop for one node of a parallel cluster: the kernel
+// publishes its next-event time through clock before executing each event,
+// and the context is polled between events exactly like the sequential
+// loop.
+func parRunLoop(kern *sim.Kernel, clock *nodeClock, ctx context.Context, cancelled func() bool, res *Result) {
+	kern.RunGated(
+		func(t sim.Time) { clock.publish(int64(t)) },
+		func() bool {
+			if cancelled != nil && ctx.Err() != nil {
+				res.Cancelled = true
+				return false
+			}
+			return true
+		},
+	)
+	res.HitLimit = kern.Ended()
+	if res.HitLimit || res.Cancelled {
+		if now := kern.Now(); now > res.EndTime {
+			res.EndTime = now
+		}
+	}
+}
+
+// mergeShardSeries folds the per-node series shards into dst in the order
+// the sequential runtime would have created them: by first-sample time,
+// node index, then within-node insertion order. Series names are
+// node-unique (every name carries its node prefix — a node's outbound
+// remote-guest series lives in the *serving* peer's shard under the
+// sender's prefix), so the merge is pure concatenation.
+func mergeShardSeries(dst *metrics.Set, shards []*Result) {
+	type entry struct {
+		node, pos int
+		s         *metrics.Series
+		firstT    float64
+	}
+	var all []entry
+	for i, sh := range shards {
+		for pos, name := range sh.Series.Names() {
+			s := sh.Series.Get(name)
+			e := entry{node: i, pos: pos, s: s, firstT: math.Inf(1)}
+			if s.Len() > 0 {
+				e.firstT = s.At(0).T
+			}
+			all = append(all, e)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		ea, eb := all[a], all[b]
+		if ea.firstT != eb.firstT {
+			return ea.firstT < eb.firstT
+		}
+		if ea.node != eb.node {
+			return ea.node < eb.node
+		}
+		return ea.pos < eb.pos
+	})
+	for _, e := range all {
+		s := dst.Get(e.s.Name())
+		for _, p := range e.s.Points() {
+			s.Add(p.T, p.V)
+		}
+	}
+}

@@ -70,6 +70,39 @@ type Engine struct {
 	// be concurrency-safe. Event order is deterministic within a job but
 	// jobs interleave by completion timing.
 	OnEvent func(j Job, e core.Event)
+	// ClusterParallel selects whether cluster-scenario jobs run on the
+	// parallel cluster runtime (core.ClusterConfig.Parallel — one kernel
+	// per node, results byte-identical to sequential). Auto spends spare
+	// cores on per-run parallelism only when the job-level pool cannot
+	// fill the machine by itself.
+	ClusterParallel ClusterParallelMode
+}
+
+// ClusterParallelMode is the Engine/Options knob for per-run cluster
+// parallelism.
+type ClusterParallelMode int
+
+const (
+	// ClusterParallelAuto (the zero value) enables the parallel cluster
+	// runtime when the worker pool is smaller than the core count — few
+	// jobs on a wide machine — and stays sequential otherwise, where
+	// job-level parallelism already saturates the CPUs.
+	ClusterParallelAuto ClusterParallelMode = iota
+	// ClusterParallelOn always runs cluster jobs on the parallel runtime.
+	ClusterParallelOn
+	// ClusterParallelOff always uses the sequential single-kernel runtime.
+	ClusterParallelOff
+)
+
+// clusterParallel resolves the mode against the pool size for n jobs.
+func (e *Engine) clusterParallel(n int) bool {
+	switch e.ClusterParallel {
+	case ClusterParallelOn:
+		return true
+	case ClusterParallelOff:
+		return false
+	}
+	return e.workers(n) < runtime.NumCPU()
 }
 
 // workers returns the effective pool size for n jobs.
@@ -103,6 +136,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	for i := range results {
 		results[i] = JobResult{Job: jobs[i], Index: i, Err: ErrSkipped}
 	}
+	clusterPar := e.clusterParallel(len(jobs))
 
 	var (
 		mu      sync.Mutex
@@ -141,7 +175,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 						eventMu.Unlock()
 					})
 				}
-				jr.Result, jr.Err = RunOneWith(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed, obs)
+				jr.Result, jr.Err = runOneWith(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed, obs, clusterPar)
 				results[idx] = jr
 
 				mu.Lock()
@@ -207,10 +241,18 @@ type Options struct {
 	// OnEvent receives every lifecycle event of every run, tagged with
 	// its job (serialized). See Engine.OnEvent.
 	OnEvent func(j Job, e core.Event)
+	// ClusterParallel selects per-run cluster parallelism; see
+	// Engine.ClusterParallel.
+	ClusterParallel ClusterParallelMode
 }
 
 func (o Options) engine() *Engine {
-	return &Engine{Parallelism: o.Parallelism, OnProgress: o.OnProgress, OnEvent: o.OnEvent}
+	return &Engine{
+		Parallelism:     o.Parallelism,
+		OnProgress:      o.OnProgress,
+		OnEvent:         o.OnEvent,
+		ClusterParallel: o.ClusterParallel,
+	}
 }
 
 // RunMatrix executes every (scenario, policy, seed) combination on the

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smartmem/internal/core"
+)
+
+// buildClusterN tiles a stock 2-node cluster scenario into an N-node ring
+// by building it N/2 times and concatenating the node configs. Each tile
+// comes from its own BuildCluster call, so every node keeps its own stop
+// flag and milestone counters (the scenarios allocate them per build —
+// required for parallel execution and for correct per-tile stop behavior).
+func buildClusterN(t *testing.T, slug string, seed uint64, pol string, nodes int) core.ClusterConfig {
+	t.Helper()
+	s, err := BySlug(slug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := s.BuildCluster(seed, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := len(cc.Nodes)
+	if nodes%per != 0 {
+		t.Fatalf("cannot tile %d-node scenario %s to %d nodes", per, slug, nodes)
+	}
+	for len(cc.Nodes) < nodes {
+		next, err := s.BuildCluster(seed, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc.Nodes = append(cc.Nodes, next.Nodes...)
+	}
+	return cc
+}
+
+// resultFingerprint renders every deterministic field of a cluster Result
+// to one canonical byte string: the structured fields as a printf dump and
+// the series set in its CSV form.
+func resultFingerprint(t *testing.T, res *core.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "policy=%s seed=%d end=%d hitlimit=%v ticks=%d batches=%d diskops=%d diskbusy=%d\n",
+		res.PolicyName, res.Seed, res.EndTime, res.HitLimit,
+		res.SampleTicks, res.MMBatchesSent, res.DiskOps, res.DiskBusy)
+	for _, r := range res.Runs {
+		fmt.Fprintf(&sb, "run %s %s %d %d\n", r.VM, r.Label, r.Start, r.End)
+	}
+	for _, v := range res.VMs {
+		fmt.Fprintf(&sb, "vm %s %d kernel=%+v tmem=%+v\n", v.Name, v.ID, v.Kernel, v.Tmem)
+	}
+	for _, n := range res.Nodes {
+		fmt.Fprintf(&sb, "node %s %s ticks=%d batches=%d diskops=%d diskbusy=%d",
+			n.Name, n.PolicyName, n.SampleTicks, n.MMBatchesSent, n.DiskOps, n.DiskBusy)
+		if n.Remote != nil {
+			fmt.Fprintf(&sb, " remote=%+v", *n.Remote)
+		}
+		if n.Compressed != nil {
+			fmt.Fprintf(&sb, " compressed=%+v", *n.Compressed)
+		}
+		fmt.Fprintln(&sb)
+	}
+	if err := res.Series.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSequentialAcrossScenarios is the acceptance matrix for
+// the parallel cluster runtime: seeds {7, 11, 42} × nodes {2, 4, 8} × the
+// three stock cluster scenarios, each compared byte-for-byte against the
+// sequential oracle.
+func TestParallelMatchesSequentialAcrossScenarios(t *testing.T) {
+	seeds := []uint64{7, 11, 42}
+	nodeCounts := []int{2, 4, 8}
+	slugs := []string{"cluster-2", "remote-heavy", "node-imbalance"}
+	if testing.Short() {
+		seeds = []uint64{7}
+		nodeCounts = []int{2, 4}
+		slugs = []string{"cluster-2"}
+	}
+	for _, slug := range slugs {
+		for _, nodes := range nodeCounts {
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%s/nodes-%d/seed-%d", slug, nodes, seed), func(t *testing.T) {
+					run := func(parallel bool) string {
+						cc := buildClusterN(t, slug, seed, "smart-alloc:P=2", nodes)
+						cc.Parallel = parallel
+						res, err := core.RunCluster(cc)
+						if err != nil {
+							t.Fatalf("parallel=%v: %v", parallel, err)
+						}
+						return resultFingerprint(t, res)
+					}
+					seq := run(false)
+					par := run(true)
+					if seq != par {
+						t.Errorf("parallel result diverged from sequential oracle\nseq:\n%s\npar:\n%s",
+							head(seq, 40), head(par, 40))
+					}
+				})
+			}
+		}
+	}
+}
+
+// head returns the first n lines of s (fingerprints run to thousands of
+// series rows; the leading diff is what matters).
+func head(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

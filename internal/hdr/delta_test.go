@@ -1,0 +1,110 @@
+package hdr
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeltaSnapshotIntervalOnly pins the core property: a delta between two
+// States summarizes only the observations recorded in between, ignoring
+// everything before the first State.
+func TestDeltaSnapshotIntervalOnly(t *testing.T) {
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.Record(int64(time.Millisecond)) // old regime: 1ms
+	}
+	prev := h.State()
+	for i := 0; i < 100; i++ {
+		h.Record(int64(10 * time.Millisecond)) // new regime: 10ms
+	}
+	cur := h.State()
+
+	d := DeltaSnapshot(cur, prev)
+	if d.Count != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count)
+	}
+	ms10 := int64(10 * time.Millisecond)
+	within := func(name string, got int64) {
+		t.Helper()
+		if got < ms10 || got > ms10+ms10/int64(subCount) {
+			t.Errorf("%s = %d, want ~%d (within 1/64)", name, got, ms10)
+		}
+	}
+	// Every interval observation is 10ms: all quantiles and the mean must
+	// sit there, untouched by the thousand 1ms records before prev.
+	within("p50", d.P50)
+	within("p99", d.P99)
+	within("p999", d.P999)
+	if d.Mean != float64(ms10) {
+		t.Errorf("mean = %g, want %d", d.Mean, ms10)
+	}
+	if d.Max != ms10 {
+		t.Errorf("max = %d, want %d (exact: the interval set a new all-time max)", d.Max, ms10)
+	}
+
+	// The cumulative snapshot still sees the old regime, proving the two
+	// views diverge as intended.
+	if full := h.Snapshot(); full.P50 >= ms10 {
+		t.Errorf("cumulative p50 = %d, should still be ~1ms", full.P50)
+	}
+}
+
+// TestDeltaSnapshotEmptyInterval pins that a quiet interval yields the zero
+// Snapshot, which is what lets a scraper skip emitting interval families.
+func TestDeltaSnapshotEmptyInterval(t *testing.T) {
+	h := New()
+	h.Record(500)
+	s := h.State()
+	if d := DeltaSnapshot(s, s); d != (Snapshot{}) {
+		t.Fatalf("empty interval delta = %+v, want zero", d)
+	}
+	// Zero baseline = everything so far.
+	if d := DeltaSnapshot(s, State{}); d.Count != 1 || d.Max != 500 {
+		t.Fatalf("delta vs zero baseline = %+v, want count 1 max 500", d)
+	}
+}
+
+// TestDeltaSnapshotMaxFallback pins the max rule when the interval does not
+// move the all-time maximum: the delta max falls back to the highest bucket
+// touched in the interval, clamped to the all-time max.
+func TestDeltaSnapshotMaxFallback(t *testing.T) {
+	h := New()
+	h.Record(1 << 20) // all-time max, before the interval
+	prev := h.State()
+	h.Record(100) // interval activity below the old max
+	cur := h.State()
+
+	d := DeltaSnapshot(cur, prev)
+	if d.Count != 1 {
+		t.Fatalf("delta count = %d, want 1", d.Count)
+	}
+	// Value 100 lands in a log bucket; the reported max is that bucket's
+	// upper bound (≤ 1/64 above), never the stale 1<<20.
+	if d.Max < 100 || d.Max > 100+100/subCount+1 {
+		t.Errorf("fallback max = %d, want ~100", d.Max)
+	}
+
+	// Clamp case: interval max in the same bucket as a larger all-time max.
+	h2 := New()
+	h2.Record(1000)
+	p2 := h2.State()
+	h2.Record(990) // same bucket region, below all-time max
+	d2 := DeltaSnapshot(h2.State(), p2)
+	if d2.Max > 1000 {
+		t.Errorf("fallback max = %d, must clamp to all-time max 1000", d2.Max)
+	}
+}
+
+// TestDeltaSnapshotUnderflowGuard pins the saturating subtraction: a
+// mismatched State pair (cur behind prev) degrades to zeros instead of
+// wrapping around.
+func TestDeltaSnapshotUnderflowGuard(t *testing.T) {
+	h := New()
+	h.Record(42)
+	later := h.State()
+	h.Record(42)
+	evenLater := h.State()
+	if d := DeltaSnapshot(later, evenLater); d.Count != 0 {
+		t.Fatalf("reversed pair delta count = %d, want 0 (saturate, not wrap)", d.Count)
+	}
+}

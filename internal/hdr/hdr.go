@@ -227,3 +227,110 @@ func (s Snapshot) String() string {
 	return fmt.Sprintf("count=%d mean=%.0fns p50=%d p90=%d p99=%d p999=%d max=%d",
 		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
 }
+
+// State is a full copy of one histogram's counters — cheap enough (~29 KiB
+// on the stack) to take per metrics scrape. Two States of the same
+// histogram taken at different times subtract into an interval summary via
+// DeltaSnapshot, which is how a scraper derives per-interval rates and
+// quantiles without ever resetting the live histogram under writers.
+type State struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64 // value+1 convention, 0 = nothing recorded (matches Histogram.max)
+}
+
+// State copies the histogram's counters with atomic loads. Concurrent
+// writers may land between loads, so a State is consistent in the same
+// sense as Snapshot: each figure individually reflects some point in the
+// recording stream. The zero State works as a DeltaSnapshot baseline and
+// means "before anything was recorded".
+func (h *Histogram) State() State {
+	var s State
+	for i := range h.buckets {
+		s.Buckets[i] = atomic.LoadUint64(&h.buckets[i])
+	}
+	s.Count = atomic.LoadUint64(&h.count)
+	s.Sum = atomic.LoadUint64(&h.sum)
+	s.Max = atomic.LoadUint64(&h.max)
+	return s
+}
+
+// sub64 subtracts with saturation at zero. A histogram only grows, but a
+// racing State pair can transiently read cur behind prev on an individual
+// counter; clamping keeps a scrape best-effort instead of wrapping to 2^64.
+func sub64(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// DeltaSnapshot summarizes the observations recorded between prev and cur
+// (two States of the same histogram, prev taken first): interval quantiles,
+// mean and max rather than the since-process-start figures Snapshot gives.
+// Count and the quantiles come from the bucket-wise difference, so they are
+// mutually consistent even when writers raced the State copies. Max is
+// exact when the interval produced a new all-time maximum (cur.Max moved);
+// otherwise it falls back to the upper bound of the highest bucket touched
+// in the interval, clamped to the all-time maximum. An empty interval
+// returns the zero Snapshot.
+func DeltaSnapshot(cur, prev State) Snapshot {
+	var db [NumBuckets]uint64
+	var n uint64
+	hiIdx := -1
+	for i := range db {
+		d := sub64(cur.Buckets[i], prev.Buckets[i])
+		db[i] = d
+		n += d
+		if d != 0 {
+			hiIdx = i
+		}
+	}
+	if n == 0 {
+		return Snapshot{}
+	}
+
+	var max int64
+	if cur.Max > prev.Max {
+		max = int64(cur.Max - 1)
+	} else {
+		_, hi := bucketBounds(hiIdx)
+		max = hi
+		if cur.Max != 0 && max > int64(cur.Max-1) {
+			max = int64(cur.Max - 1)
+		}
+	}
+
+	quantile := func(q float64) int64 {
+		rank := uint64(math.Ceil(q * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i := range db {
+			if db[i] == 0 {
+				continue
+			}
+			cum += db[i]
+			if cum >= rank {
+				_, hi := bucketBounds(i)
+				if hi > max {
+					return max
+				}
+				return hi
+			}
+		}
+		return max
+	}
+
+	return Snapshot{
+		Count: n,
+		Mean:  float64(sub64(cur.Sum, prev.Sum)) / float64(n),
+		P50:   quantile(0.50),
+		P90:   quantile(0.90),
+		P99:   quantile(0.99),
+		P999:  quantile(0.999),
+		Max:   max,
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+func TestPeekTime(t *testing.T) {
+	k := NewKernel(1)
+	if _, ok := k.PeekTime(); ok {
+		t.Fatal("empty kernel reported a head event")
+	}
+	k.SpawnAt("late", 5*Millisecond, func(p *Proc) {})
+	k.SpawnAt("early", 2*Millisecond, func(p *Proc) {})
+	if head, ok := k.PeekTime(); !ok || head != Time(2*Millisecond) {
+		t.Fatalf("head = %v/%v, want 2ms", head, ok)
+	}
+}
+
+// RunGated must publish each event's time *before* executing it, in
+// nondecreasing order, and finish with the same clock a plain Run would.
+func TestRunGatedPublishesBeforeExecute(t *testing.T) {
+	k := NewKernel(1)
+	var ran []Time
+	spawn := func(at Duration) {
+		k.SpawnAt("p", at, func(p *Proc) { ran = append(ran, p.Now()) })
+	}
+	spawn(3 * Millisecond)
+	spawn(1 * Millisecond)
+	spawn(2 * Millisecond)
+
+	var bounds []Time
+	published := 0
+	end := k.RunGated(func(tm Time) {
+		bounds = append(bounds, tm)
+		// The bound for event i arrives before event i runs.
+		if published != len(ran) {
+			t.Fatalf("publish #%d arrived after %d events ran", published, len(ran))
+		}
+		published++
+	}, nil)
+
+	want := []Time{Time(1 * Millisecond), Time(2 * Millisecond), Time(3 * Millisecond)}
+	for i, b := range bounds {
+		if b != want[i] {
+			t.Fatalf("bounds = %v, want %v", bounds, want)
+		}
+	}
+	if len(ran) != 3 || end != Time(3*Millisecond) || k.Now() != end {
+		t.Fatalf("ran %d events, end %v (now %v)", len(ran), end, k.Now())
+	}
+}
+
+func TestRunGatedKeepGoingStopsLoop(t *testing.T) {
+	k := NewKernel(1)
+	var ran int
+	for i := 1; i <= 3; i++ {
+		k.SpawnAt("p", Duration(i)*Millisecond, func(p *Proc) { ran++ })
+	}
+	k.RunGated(nil, func() bool { return ran < 2 })
+	if ran != 2 {
+		t.Fatalf("ran %d events after keepGoing went false, want 2", ran)
+	}
+	if k.Pending() == 0 {
+		t.Fatal("remaining events were drained despite the stop")
+	}
+}
+
+func TestRunGatedHonorsLimit(t *testing.T) {
+	k := NewKernel(1)
+	k.SetLimit(Time(2 * Millisecond))
+	var ran []Time
+	k.SpawnAt("a", 1*Millisecond, func(p *Proc) { ran = append(ran, p.Now()) })
+	k.SpawnAt("b", 5*Millisecond, func(p *Proc) { ran = append(ran, p.Now()) })
+	end := k.RunGated(nil, nil)
+	if len(ran) != 1 || !k.Ended() || end != Time(2*Millisecond) {
+		t.Fatalf("ran=%v ended=%v end=%v, want one event, ended at 2ms", ran, k.Ended(), end)
+	}
+}

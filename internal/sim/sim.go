@@ -330,6 +330,40 @@ func (k *Kernel) Run() Time {
 	return k.now
 }
 
+// PeekTime returns the timestamp of the earliest pending event, when one
+// exists. Head times are nondecreasing, so the returned time is a lower
+// bound on every event this kernel will still execute — stale wake-ups for
+// finished processes sit in the queue until popped, which can only make
+// the bound conservative (too low), never optimistic.
+func (k *Kernel) PeekTime() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
+// RunGated executes events like Run, but announces the head-event time via
+// publish *before* each event executes and consults keepGoing after each
+// one. It is the conservative parallel-simulation entry point: publish(t)
+// promises the caller's synchronization layer that this kernel will never
+// again execute an event earlier than t, so peer kernels may safely run up
+// to t. Either hook may be nil. Returns the final virtual time; a limit
+// stop is reported through Ended, exactly as with Run.
+func (k *Kernel) RunGated(publish func(Time), keepGoing func() bool) Time {
+	for len(k.queue) > 0 {
+		if publish != nil {
+			publish(k.queue[0].at)
+		}
+		if !k.Step() {
+			break
+		}
+		if keepGoing != nil && !keepGoing() {
+			break
+		}
+	}
+	return k.now
+}
+
 // RunUntil executes events until virtual time t (inclusive of events at t)
 // and advances the clock to t even when the queue drains early. The hard
 // limit wins: past it the clock clamps to the limit and Ended reports true,

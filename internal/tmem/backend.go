@@ -130,6 +130,11 @@ type Backend struct {
 
 	pageSize mem.Bytes
 
+	// gate, when installed, is invoked on entry to every owner-surface
+	// method; see SetGate. Read with a plain load on the hot path — it is
+	// written only before traffic starts and after it has fully stopped.
+	gate func()
+
 	// batchPool recycles the scratch state of PutBatch/GetBatch (see
 	// batch.go) so warm batch calls allocate nothing.
 	batchPool sync.Pool
@@ -256,6 +261,25 @@ func (b *Backend) AttachTier(t Tier) {
 // so polling it from samplers costs no allocation.
 func (b *Backend) Tiers() []Tier { return b.tiersView }
 
+// SetGate installs (nil removes) a synchronization hook invoked on entry
+// to every owner-surface method — the public operations the backend's
+// owning simulation driver issues, as opposed to the ...Local surface a
+// Loopback peer injects through (which stays ungated and is ordered by the
+// transport's own gate; see Loopback.SetGate). The parallel cluster
+// runtime uses the pair to delay each side until no ring peer can still
+// issue an earlier-timestamped operation, keeping the parallel event order
+// identical to the sequential one. Install before traffic starts and clear
+// only after the run's goroutines have joined; without a gate the hook
+// costs one nil check per operation.
+func (b *Backend) SetGate(gate func()) { b.gate = gate }
+
+// enter runs the owner gate when one is installed.
+func (b *Backend) enter() {
+	if b.gate != nil {
+		b.gate()
+	}
+}
+
 // shardFor maps a key to its lock stripe.
 func (b *Backend) shardFor(key Key) *shard {
 	if b.shardMask == 0 {
@@ -306,12 +330,16 @@ func (b *Backend) PageSize() mem.Bytes { return b.pageSize }
 func (b *Backend) TotalPages() mem.Pages { return b.totalPages }
 
 // FreePages returns the number of free tmem pages (node_info.free_tmem).
-func (b *Backend) FreePages() mem.Pages { return mem.Pages(b.freePages.Load()) }
+func (b *Backend) FreePages() mem.Pages {
+	b.enter()
+	return mem.Pages(b.freePages.Load())
+}
 
 // RegisterVM creates the hypervisor-side account for a VM. Registering an
 // already-known VM is a no-op. New VMs start with an Unlimited target
 // (greedy default) — management policies overwrite it on their first tick.
 func (b *Backend) RegisterVM(vm VMID) {
+	b.enter()
 	b.register(vm)
 }
 
@@ -345,6 +373,7 @@ func (b *Backend) pool(id PoolID) *Pool {
 // (and its pool is destroyed here) or starts after (and re-creates a fresh
 // account) — it can never attach a live pool to a deleted account.
 func (b *Backend) UnregisterVM(vm VMID) {
+	b.enter()
 	b.poolMu.Lock()
 	var doomed []*Pool
 	for id, p := range b.pools {
@@ -364,6 +393,13 @@ func (b *Backend) UnregisterVM(vm VMID) {
 // and returns its identifier. The VM account is resolved under poolMu (see
 // UnregisterVM for why the two must be atomic).
 func (b *Backend) NewPool(vm VMID, kind PoolKind) PoolID {
+	b.enter()
+	return b.newPool(vm, kind)
+}
+
+// newPool is NewPool without the owner gate — the Loopback injection
+// surface, ordered by the transport's gate instead of the owner's.
+func (b *Backend) newPool(vm VMID, kind PoolKind) PoolID {
 	b.poolMu.Lock()
 	defer b.poolMu.Unlock()
 	a := b.register(vm)
@@ -379,6 +415,7 @@ func (b *Backend) NewPool(vm VMID, kind PoolKind) PoolID {
 // advanced past id so later NewPool calls can never collide with a
 // restored pool. Restoring a live id is an error.
 func (b *Backend) RestorePool(id PoolID, vm VMID, kind PoolKind) error {
+	b.enter()
 	if id < 0 {
 		return fmt.Errorf("tmem: restore of invalid pool id %d", id)
 	}
@@ -397,6 +434,12 @@ func (b *Backend) RestorePool(id PoolID, vm VMID, kind PoolKind) error {
 
 // DestroyPool flushes every page of the pool and removes it.
 func (b *Backend) DestroyPool(id PoolID) error {
+	b.enter()
+	return b.destroyPool(id)
+}
+
+// destroyPool is DestroyPool without the owner gate (see newPool).
+func (b *Backend) destroyPool(id PoolID) error {
 	b.poolMu.Lock()
 	p, ok := b.pools[id]
 	if !ok {
@@ -530,6 +573,7 @@ func (b *Backend) evictHead(sh *shard) bool {
 // the MemStats sample, so policies keep seeing the pressure that caused the
 // overflow.
 func (b *Backend) Put(key Key, data []byte) Status {
+	b.enter()
 	p := b.pool(key.Pool)
 	if p == nil {
 		return EInval
@@ -715,6 +759,7 @@ func (b *Backend) tryPutLocked(sh *shard, p *Pool, a *vmAccount, key Key, data [
 // lower tier is served from that tier (and counted as a hit: tmem served
 // the page, wherever it sat).
 func (b *Backend) Get(key Key, dst []byte) Status {
+	b.enter()
 	p := b.pool(key.Pool)
 	if p == nil {
 		return EInval
@@ -789,6 +834,7 @@ func (b *Backend) getHitLocked(sh *shard, p *Pool, a *vmAccount, e *entry, dst [
 // a lower tier (non-destructive even for ephemeral pools; diagnostic use
 // only).
 func (b *Backend) Contains(key Key) bool {
+	b.enter()
 	if b.pool(key.Pool) == nil {
 		return false
 	}
@@ -803,6 +849,7 @@ func (b *Backend) Contains(key Key) bool {
 // guests treat as harmless. A page whose live copy sits in a lower tier is
 // flushed there.
 func (b *Backend) FlushPage(key Key) Status {
+	b.enter()
 	p := b.pool(key.Pool)
 	if p == nil {
 		return EInval
@@ -854,6 +901,7 @@ func (b *Backend) FlushPageLocal(key Key) Status {
 // visited (object flushes are rare next to page operations); pages tracked
 // in lower tiers are flushed there with one object flush per involved tier.
 func (b *Backend) FlushObject(pool PoolID, object ObjectID) (mem.Pages, Status) {
+	b.enter()
 	p := b.pool(pool)
 	if p == nil {
 		return 0, EInval
@@ -928,6 +976,7 @@ func (b *Backend) flushObjectLocal(k objKey) (n mem.Pages, remote []mem.Pages) {
 // (vm_data_hyp[id].mm_target). The hypervisor stores targets until the MM
 // modifies them (paper §III-B). Unknown VMs are registered implicitly.
 func (b *Backend) SetTarget(vm VMID, target mem.Pages) {
+	b.enter()
 	if target < 0 {
 		target = 0
 	}
@@ -936,6 +985,7 @@ func (b *Backend) SetTarget(vm VMID, target mem.Pages) {
 
 // Target returns the current target of a VM.
 func (b *Backend) Target(vm VMID) mem.Pages {
+	b.enter()
 	if a := b.account(vm); a != nil {
 		return a.target()
 	}
@@ -944,6 +994,7 @@ func (b *Backend) Target(vm VMID) mem.Pages {
 
 // UsedBy returns the pages currently consumed by a VM.
 func (b *Backend) UsedBy(vm VMID) mem.Pages {
+	b.enter()
 	if a := b.account(vm); a != nil {
 		return mem.Pages(a.tmemUsed.Load())
 	}
@@ -952,6 +1003,7 @@ func (b *Backend) UsedBy(vm VMID) mem.Pages {
 
 // VMs returns the registered VM ids in ascending order.
 func (b *Backend) VMs() []VMID {
+	b.enter()
 	b.vmMu.RLock()
 	ids := make([]VMID, 0, len(b.vms))
 	for id := range b.vms {
@@ -964,6 +1016,7 @@ func (b *Backend) VMs() []VMID {
 
 // Footprint returns the host bytes retained across all shard page stores.
 func (b *Backend) Footprint() int64 {
+	b.enter()
 	var n int64
 	for _, sh := range b.shards {
 		sh.mu.Lock()
@@ -977,6 +1030,7 @@ func (b *Backend) Footprint() int64 {
 // the property tests and may be called at any time; it stops the world
 // (every stripe lock, in order) for the duration.
 func (b *Backend) CheckInvariants() error {
+	b.enter()
 	// Documented lock order: poolMu -> shard.mu (index order) ->
 	// frameSource.mu -> vmMu. The frame sweep completes before vmMu is
 	// taken so the checker itself honours the ordering.

@@ -97,6 +97,7 @@ func checkBatch(keys []Key, datas [][]byte, sts []Status) {
 // round trip. dst buffers are not taken: GetRun serves the simulator's
 // presence-only path (the guest models page contents as irrelevant).
 func (b *Backend) GetRun(keys []Key, sts []Status) int {
+	b.enter()
 	checkBatch(keys, nil, sts)
 	var cur *shard
 	unlock := func() {
@@ -162,6 +163,7 @@ func (b *Backend) GetRun(keys []Key, sts []Status) int {
 // lazy lock batching as GetRun (no early stop: flushing an absent page is
 // harmless).
 func (b *Backend) FlushRun(keys []Key, sts []Status) {
+	b.enter()
 	checkBatch(keys, nil, sts)
 	var cur *shard
 	unlock := func() {
@@ -220,6 +222,7 @@ func (b *Backend) FlushRun(keys []Key, sts []Status) {
 // (all zero pages) or hold one payload per key; sts receives one status
 // per key.
 func (b *Backend) PutBatch(keys []Key, datas [][]byte, sts []Status) {
+	b.enter()
 	b.putBatch(keys, datas, sts, true)
 }
 
@@ -391,6 +394,7 @@ func (b *Backend) putBatch(keys []Key, datas [][]byte, sts []Status, withTiers b
 // tier in one batch (one remote round trip per tier). dsts may be nil
 // (presence only) or hold one destination buffer per key.
 func (b *Backend) GetBatch(keys []Key, dsts [][]byte, sts []Status) {
+	b.enter()
 	b.getBatch(keys, dsts, sts, true)
 }
 
