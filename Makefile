@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt bench bench-json bench-gate load-smoke load-smoke-durable profile report clean
+.PHONY: all build test race vet lint fmt bench bench-json bench-gate load-smoke load-smoke-durable sweep-smoke profile report clean
 
 all: build lint test
 
@@ -27,8 +27,9 @@ fmt:
 
 # Quick engine benchmarks (one iteration each); the full figure benches
 # live in bench_test.go. BenchmarkRunCluster (sequential vs parallel
-# cluster runtime) runs without -benchmem: the parallel mode's allocation
-# count wobbles by a few dozen with goroutine scheduling, which would trip
+# cluster runtime) and BenchmarkSweep (cold steal/static vs warm memo
+# cache) run without -benchmem: their parallel workers' allocation counts
+# wobble by a few dozen with goroutine scheduling, which would trip
 # the gate's absolute allocs/op rule. The store/daemon concurrency benches compare the
 # striped hot path against the shards-1 (single-mutex) baseline, the
 # remote-tier bench shows overflow absorbed by a peer store instead of
@@ -38,6 +39,7 @@ fmt:
 # regressions are visible in the output and in BENCH.json.
 bench:
 	$(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkSweep' -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkRunCluster' -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim
 	$(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem
@@ -57,6 +59,7 @@ bench:
 bench-json:
 	@tmp=$$(mktemp); \
 	{ $(GO) test -bench 'BenchmarkEngine' -benchtime 1x -benchmem -run '^$$' . && \
+	  $(GO) test -bench 'BenchmarkSweep' -benchtime 1x -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkRunCluster' -benchtime 1x -run '^$$' . && \
 	  $(GO) test -bench 'BenchmarkKernel|BenchmarkProcSleep|BenchmarkCondPingPong' -benchtime 100000x -benchmem -run '^$$' ./internal/sim && \
 	  $(GO) test -bench 'BenchmarkBackendParallel' -benchtime 10000x -benchmem -run '^$$' ./internal/tmem && \
@@ -100,6 +103,23 @@ load-smoke-durable:
 		-rate 2000 -duration 5s -conns 2 -keys 8192 -json bench-out/load-smoke-durable.json
 	$(GO) run ./cmd/smartmem-benchgate -load bench-out/load-smoke-durable.json -min-rate 1800 -max-p99 100ms
 	@rm -rf bench-out/durable-smoke
+
+# Tournament warm-cache smoke: run one small tournament twice against the
+# same memo directory under the race detector. The second pass must be
+# served entirely from the cache and emit a byte-identical league document
+# (cmp fails the target otherwise) — the end-to-end proof that memoization
+# changes wall-clock only, never results.
+sweep-smoke:
+	@mkdir -p bench-out && rm -rf bench-out/sweep-memo
+	$(GO) run -race ./cmd/smartmem-sim -tournament -scenario scale-2,leaky \
+		-policies greedy,smart-alloc:P=2 -seeds 11,23 -memo bench-out/sweep-memo \
+		-league-json bench-out/sweep-cold.json -quiet
+	$(GO) run -race ./cmd/smartmem-sim -tournament -scenario scale-2,leaky \
+		-policies greedy,smart-alloc:P=2 -seeds 11,23 -memo bench-out/sweep-memo \
+		-league-json bench-out/sweep-warm.json -quiet
+	cmp bench-out/sweep-cold.json bench-out/sweep-warm.json
+	@rm -rf bench-out/sweep-memo
+	@echo "sweep-smoke: warm league byte-identical to cold"
 
 # Profile a tier-stack-heavy run (kv-heavy hammers the striped store; swap
 # -scenario cluster-2 to profile the cluster runtime). Inspect with:

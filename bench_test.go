@@ -17,6 +17,7 @@ import (
 
 	"smartmem"
 	"smartmem/internal/core"
+	"smartmem/internal/durable"
 	"smartmem/internal/experiments"
 	"smartmem/internal/mem"
 	"smartmem/internal/policy"
@@ -360,6 +361,55 @@ func BenchmarkEngine_ScaleScenario(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweep measures the tournament engine on a fixed bracket
+// (scale-2 × 3 policies × 3 seeds): cold sweeps under the work-stealing
+// and static schedulers (their ratio is the scheduler's win; both compute
+// every cell), and warm sweeps against a primed memo cache (every cell a
+// hit — the warm/cold ratio is the cache's speedup, budgeted at >= 5x in
+// practice and gated structurally by TestTournamentColdWarmIdentical).
+func BenchmarkSweep(b *testing.B) {
+	scn, err := experiments.BySlug("scale-2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := []*experiments.Scenario{scn}
+	policies := []string{"greedy", "static-alloc", "smart-alloc:P=2"}
+	seeds := []uint64{11, 23, 37}
+	sweep := func(b *testing.B, opt experiments.Options) {
+		league, err := experiments.RunTournament(scenarios, policies, seeds, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if league.Winner() == "" {
+			b.Fatal("empty league")
+		}
+	}
+
+	b.Run("cold/steal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, experiments.Options{Scheduler: experiments.SchedulerSteal})
+		}
+	})
+	b.Run("cold/static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(b, experiments.Options{Scheduler: experiments.SchedulerStatic})
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := experiments.NewMemo(durable.NewMemStore())
+		sweep(b, experiments.Options{Cache: cache}) // prime every cell
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(b, experiments.Options{Cache: cache})
+		}
+		b.StopTimer()
+		st := cache.Stats()
+		if st.Misses != uint64(len(policies)*len(seeds)) {
+			b.Fatalf("warm sweeps missed the cache: %+v", st)
+		}
+	})
 }
 
 // BenchmarkRunCluster measures the cluster runtime itself — one full

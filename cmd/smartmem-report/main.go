@@ -60,6 +60,7 @@ func main() {
 		evPath   = flag.String("events", "", `stream every run's lifecycle events as job-tagged NDJSON to this file ("-" = stdout)`)
 		figOnly  = flag.Bool("figures-only", false, "skip tables")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulation runs (1 = sequential)")
+		memoDir  = flag.String("memo", "", "directory of the on-disk run cache; rerunning a report recalls already-computed cells instead of resimulating (ignored while -events streams, since memo hits replay no events)")
 		quiet    = flag.Bool("quiet", false, "suppress live progress on stderr")
 		listPol  = flag.Bool("list-policies", false, "list registered policies and exit")
 	)
@@ -75,6 +76,11 @@ func main() {
 		seeds = seeds[:*nSeeds]
 	}
 	opt := experiments.Options{Parallelism: *parallel}
+	if *memoDir != "" {
+		cache, err := experiments.OpenDirMemo(*memoDir)
+		must(err)
+		opt.Cache = cache
+	}
 	if !*quiet {
 		opt.OnProgress = liveProgress
 	}

@@ -14,6 +14,15 @@
 //	smartmem-sim -scenario usemem -policy greedy -csv series.csv
 //	smartmem-sim -scenario usemem -policy greedy -json run.json -events -
 //	smartmem-sim -scenario scale-12 -times -parallel 8
+//
+// With -tournament it sweeps policies × scenarios × seeds (comma-separate
+// -scenario, -policies and -seeds to widen the bracket) and prints the
+// deterministic policy league table; -memo points repeated sweeps at an
+// on-disk run cache so already-computed cells return instantly:
+//
+//	smartmem-sim -tournament -scenario diurnal,leaky,noisy-neighbor -memo .memo
+//	smartmem-sim -tournament -scenario s2 -policies greedy,smart-alloc:P=2 \
+//	    -seeds 11,23 -league-json league.json -league-csv league.csv
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"smartmem"
 	"smartmem/internal/experiments"
@@ -39,21 +50,27 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("smartmem-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario = fs.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3, scale-<n>, churn")
-		policy   = fs.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
-		seed     = fs.Uint64("seed", 11, "random seed")
-		chart    = fs.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
-		csvPath  = fs.String("csv", "", "write the tmem time series as CSV to this file")
-		jsonPath = fs.String("json", "", `write the full run (events + result) as one JSON document to this file ("-" = stdout, suppressing the text report)`)
-		evPath   = fs.String("events", "", `stream lifecycle events as NDJSON to this file while the run executes ("-" = stdout, suppressing the text report)`)
-		list     = fs.Bool("list", false, "list registered scenarios and exit")
-		listPol  = fs.Bool("list-policies", false, "list registered policies and exit")
-		times    = fs.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
-		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times (1 = sequential)")
-		clusterP = fs.Bool("cluster-parallel", false, "run cluster scenarios with one kernel per node on its own goroutine (results are byte-identical to the sequential runtime)")
-		quiet    = fs.Bool("quiet", false, "suppress live progress on stderr")
-		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		scenario  = fs.String("scenario", "s1", "scenario slug: s1, s2, usemem, s3, scale-<n>, churn")
+		policy    = fs.String("policy", "greedy", `policy spec: no-tmem, greedy, static-alloc, reconf-static, smart-alloc:P=<pct>`)
+		seed      = fs.Uint64("seed", 11, "random seed")
+		chart     = fs.Bool("chart", false, "print the tmem-usage chart (paper Figures 4/6/8/10)")
+		csvPath   = fs.String("csv", "", "write the tmem time series as CSV to this file")
+		jsonPath  = fs.String("json", "", `write the full run (events + result) as one JSON document to this file ("-" = stdout, suppressing the text report)`)
+		evPath    = fs.String("events", "", `stream lifecycle events as NDJSON to this file while the run executes ("-" = stdout, suppressing the text report)`)
+		list      = fs.Bool("list", false, "list registered scenarios and exit")
+		listPol   = fs.Bool("list-policies", false, "list registered policies and exit")
+		times     = fs.Bool("times", false, "sweep (policy, seed) combinations and print the times table; uses the scenario's policy list and default seeds unless -policy/-seed are given")
+		tourney   = fs.Bool("tournament", false, "sweep policies × scenarios × seeds and print the policy league table; -scenario accepts a comma-separated list")
+		policiesF = fs.String("policies", "", "comma-separated policy specs for -tournament (default: the union of the scenarios' own policy lists)")
+		seedsF    = fs.String("seeds", "", "comma-separated seeds for -tournament (default: the standard five)")
+		memoDir   = fs.String("memo", "", "directory of the on-disk run cache; repeated -times/-tournament cells are recalled instead of resimulated")
+		leagueJ   = fs.String("league-json", "", `write the league table as JSON to this file ("-" = stdout, suppressing the text tables)`)
+		leagueC   = fs.String("league-csv", "", `write the league table as CSV to this file ("-" = stdout, suppressing the text tables)`)
+		parallel  = fs.Int("parallel", runtime.NumCPU(), "concurrent simulation runs for -times/-tournament (1 = sequential)")
+		clusterP  = fs.Bool("cluster-parallel", false, "run cluster scenarios with one kernel per node on its own goroutine (results are byte-identical to the sequential runtime)")
+		quiet     = fs.Bool("quiet", false, "suppress live progress on stderr")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -112,10 +129,91 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// sweepOpts assembles the execution options shared by the -times and
+	// -tournament sweeps: pool size, cluster runtime, progress output and —
+	// when -memo names a directory — the persistent run cache.
+	sweepOpts := func() (smartmem.ExperimentOptions, error) {
+		opt := smartmem.ExperimentOptions{Parallelism: *parallel}
+		if *clusterP {
+			opt.ClusterParallel = experiments.ClusterParallelOn
+		}
+		if *memoDir != "" {
+			cache, err := smartmem.OpenDirRunCache(*memoDir)
+			if err != nil {
+				return opt, err
+			}
+			opt.Cache = cache
+		}
+		if !*quiet {
+			opt.OnProgress = func(done, total int, j smartmem.ExperimentJob) {
+				fmt.Fprintf(stderr, "\r[%d/%d] %-48s", done, total, j.String())
+				if done == total {
+					fmt.Fprintln(stderr)
+				}
+			}
+		}
+		return opt, nil
+	}
+	memoStats := func(opt smartmem.ExperimentOptions) {
+		if opt.Cache != nil && !*quiet {
+			st := opt.Cache.Stats()
+			fmt.Fprintf(stderr, "memo: %d hits, %d misses, %d writes, %d corrupt\n",
+				st.Hits, st.Misses, st.Writes, st.Corrupt)
+		}
+	}
+
+	if *tourney {
+		slugs := splitList(*scenario)
+		pols := splitList(*policiesF)
+		seeds, err := parseSeeds(*seedsF)
+		if err != nil {
+			return fail(err)
+		}
+		opt, err := sweepOpts()
+		if err != nil {
+			return fail(err)
+		}
+		league, err := smartmem.RunTournament(slugs, pols, seeds, opt)
+		if err != nil {
+			return fail(err)
+		}
+		textTables := true
+		write := func(path string, wr func(io.Writer, *smartmem.LeagueTable) error) error {
+			if path == "" {
+				return nil
+			}
+			w := io.Writer(stdout)
+			if path == "-" {
+				textTables = false
+			} else {
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			return wr(w, league)
+		}
+		if err := write(*leagueJ, smartmem.WriteLeagueJSON); err != nil {
+			return fail(err)
+		}
+		if err := write(*leagueC, smartmem.WriteLeagueCSV); err != nil {
+			return fail(err)
+		}
+		if textTables {
+			if err := smartmem.WriteLeagueTable(stdout, league); err != nil {
+				return fail(err)
+			}
+		}
+		memoStats(opt)
+		return 0
+	}
+
 	if *times {
 		// Honor -policy / -seed only when the user set them explicitly;
 		// otherwise sweep the scenario's own policy list and the default
-		// five seeds.
+		// five seeds. The plural -policies/-seeds lists win when given.
 		var policies []string
 		var seeds []uint64
 		fs.Visit(func(f *flag.Flag) {
@@ -126,17 +224,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				seeds = []uint64{*seed}
 			}
 		})
-		opt := smartmem.ExperimentOptions{Parallelism: *parallel}
-		if *clusterP {
-			opt.ClusterParallel = experiments.ClusterParallelOn
+		if ps := splitList(*policiesF); ps != nil {
+			policies = ps
 		}
-		if !*quiet {
-			opt.OnProgress = func(done, total int, j smartmem.ExperimentJob) {
-				fmt.Fprintf(stderr, "\r[%d/%d] %-48s", done, total, j.String())
-				if done == total {
-					fmt.Fprintln(stderr)
-				}
+		if *seedsF != "" {
+			var err error
+			if seeds, err = parseSeeds(*seedsF); err != nil {
+				return fail(err)
 			}
+		}
+		opt, err := sweepOpts()
+		if err != nil {
+			return fail(err)
 		}
 		tab, err := smartmem.ScenarioTimesOpts(*scenario, policies, seeds, opt)
 		if err != nil {
@@ -145,6 +244,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if err := smartmem.WriteScenarioTimes(stdout, tab); err != nil {
 			return fail(err)
 		}
+		memoStats(opt)
 		return 0
 	}
 
@@ -281,4 +381,33 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(confirm, "series written to %s\n", *csvPath)
 	}
 	return 0
+}
+
+// splitList splits a comma-separated flag value, trimming spaces and
+// dropping empty elements; an empty value yields nil.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseSeeds parses a comma-separated -seeds value; empty yields nil (the
+// defaults).
+func parseSeeds(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -223,6 +223,97 @@ func TestMemoryPressureJSONGolden(t *testing.T) {
 	}
 }
 
+// TestDiurnalJSONGolden locks one production-shaped scenario end-to-end:
+// the diurnal-wave run is deterministic (its waveform table is hardcoded,
+// not computed via math.Cos), so the serialized document must be
+// byte-identical run over run. Regenerate with:
+//
+//	go test ./cmd/smartmem-sim -args -update
+func TestDiurnalJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-scenario", "diurnal", "-policy", "smart-alloc:P=2", "-seed", "11", "-json", "-"}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+	}
+
+	var doc struct {
+		Schema string           `json:"schema"`
+		Events []map[string]any `json:"events"`
+		Result map[string]any   `json:"result"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	crests := 0
+	for _, e := range doc.Events {
+		if e["event"] == "milestone" {
+			if label, _ := e["label"].(string); strings.HasPrefix(label, "wave-crest-") {
+				crests++
+			}
+		}
+	}
+	if crests != 6 { // 3 VMs × 2 cycles
+		t.Errorf("saw %d wave-crest milestones, want 6", crests)
+	}
+
+	golden := filepath.Join("testdata", "diurnal_smart_alloc_seed11.json.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -args -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden (%d bytes vs %d); rerun with -args -update if intended",
+			out.Len(), len(want))
+	}
+}
+
+// TestTournamentWarmCache runs the same tournament twice against one memo
+// directory: the second (warm) pass must serve every cell from the cache
+// and produce a byte-identical league document — the CLI-level version of
+// the engine's cache-integrity guarantee.
+func TestTournamentWarmCache(t *testing.T) {
+	memo := t.TempDir()
+	run := func() []byte {
+		var out, errb bytes.Buffer
+		args := []string{"-tournament", "-scenario", "scale-2",
+			"-policies", "greedy,smart-alloc:P=2", "-seeds", "11,23",
+			"-memo", memo, "-league-json", "-", "-quiet"}
+		if code := realMain(args, &out, &errb); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errb.String())
+		}
+		return out.Bytes()
+	}
+	cold := run()
+	warm := run()
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm league JSON differs from cold:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+
+	var doc struct {
+		Schema string `json:"schema"`
+		League struct {
+			Overall []map[string]any `json:"overall"`
+		} `json:"league"`
+	}
+	if err := json.Unmarshal(cold, &doc); err != nil {
+		t.Fatalf("league output is not valid JSON: %v", err)
+	}
+	if doc.Schema != "smartmem/league@1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.League.Overall) != 2 {
+		t.Errorf("overall league has %d entries, want 2", len(doc.League.Overall))
+	}
+}
+
 // TestListPolicies guards the policy-registry listing flag.
 func TestListPolicies(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -46,6 +46,11 @@ type ClusterConfig struct {
 // VM ids must stay below this base.
 const RemoteGuestBase tmem.VMID = 1000
 
+// NormalizedNodes returns every node configuration with defaults filled in
+// and validation applied, in node order — exactly the configs a cluster run
+// would execute (see Config.Normalized).
+func (cc ClusterConfig) NormalizedNodes() ([]Config, error) { return cc.normalize() }
+
 // Validate checks every node configuration the way a cluster run would.
 func (cc ClusterConfig) Validate() error {
 	_, err := cc.normalize()

@@ -219,6 +219,13 @@ func (c Config) normalize() (Config, error) {
 	return c, nil
 }
 
+// Normalized returns the configuration with defaults filled in and
+// validation applied — exactly the config a run would execute. Run
+// fingerprinting (internal/experiments) hashes the normalized form so a
+// config that spells a default out explicitly fingerprints identically to
+// one that leaves the field zero.
+func (c Config) Normalized() (Config, error) { return c.normalize() }
+
 // PolicyName returns the configured policy's display name, accounting for
 // the no-tmem and greedy defaults.
 func (c Config) PolicyName() string {

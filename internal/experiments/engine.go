@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"smartmem/internal/core"
 )
@@ -49,16 +52,44 @@ type JobResult struct {
 // in a partial result set.
 var ErrSkipped = errors.New("experiments: job skipped after earlier failure or cancellation")
 
-// Engine executes experiment jobs on a fixed-size worker pool. The zero
-// value is usable: it runs with runtime.NumCPU() workers and no progress
-// reporting. Each job is an independent core.Run with its own simulation
-// kernel and RNG streams, so jobs are race-free by construction (verified
-// by go test -race).
+// SchedulerMode selects how the engine hands jobs to its workers.
+type SchedulerMode int
+
+const (
+	// SchedulerSteal (the zero value) distributes jobs longest-expected-
+	// first over per-worker deques; an idle worker steals from its peers.
+	// Long cells (no-tmem baselines, cluster scenarios) start early instead
+	// of straggling at the tail, so a mixed sweep finishes when the longest
+	// single cell does, not when an unlucky worker's static share does.
+	// Results are byte-identical to any other mode: scheduling changes only
+	// wall-clock order, and results merge by index.
+	SchedulerSteal SchedulerMode = iota
+	// SchedulerStatic is the historical fixed channel feed (jobs dispatched
+	// in submission order to whichever worker asks next). Kept as the
+	// baseline leg of BenchmarkSweep and as a fallback knob.
+	SchedulerStatic
+)
+
+// Engine executes experiment jobs on a worker pool. The zero value is
+// usable: it runs with runtime.NumCPU() workers, the work-stealing
+// scheduler, no cache and no progress reporting. Each job is an independent
+// core.Run with its own simulation kernel and RNG streams, so jobs are
+// race-free by construction (verified by go test -race).
 type Engine struct {
 	// Parallelism is the number of concurrent workers; values <= 0 select
 	// runtime.NumCPU(). Parallelism 1 reproduces the historical sequential
-	// behaviour exactly.
+	// behaviour exactly (jobs run in submission order, whatever the
+	// Scheduler setting).
 	Parallelism int
+	// Scheduler selects the dispatch strategy; see SchedulerMode.
+	Scheduler SchedulerMode
+	// Cache, when non-nil, memoizes completed runs by fingerprint: a cell
+	// whose fingerprint is cached returns the stored result without
+	// simulating, byte-identically (the simulator is deterministic).
+	// Successful runs are stored back best-effort. The cache is bypassed
+	// while OnEvent is set — a memo hit replays no lifecycle events, so
+	// event-stream consumers always watch real runs.
+	Cache *Memo
 	// OnProgress, when non-nil, is invoked after every job completes with
 	// the number of finished jobs, the total, and the job that just
 	// finished. Calls are serialized by the engine; the callback does not
@@ -119,7 +150,7 @@ func (e *Engine) workers(n int) int {
 
 // Run executes jobs concurrently and returns one JobResult per job, in job
 // order. The first job error cancels all not-yet-started jobs (fail-fast)
-// and is returned; results for skipped jobs carry errSkipped. A nil ctx
+// and is returned; results for skipped jobs carry ErrSkipped. A nil ctx
 // means context.Background(); cancelling ctx stops dispatch after in-flight
 // jobs finish.
 func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
@@ -136,72 +167,274 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]JobResult, error) {
 	for i := range results {
 		results[i] = JobResult{Job: jobs[i], Index: i, Err: ErrSkipped}
 	}
-	clusterPar := e.clusterParallel(len(jobs))
 
-	var (
-		mu      sync.Mutex
-		eventMu sync.Mutex
-		done    int
-		jobErr  error // first real failure, lowest job index wins
-		jobIdx  = len(jobs)
-		wg      sync.WaitGroup
-		indexes = make(chan int)
-	)
+	st := &sweepState{
+		engine:     e,
+		ctx:        ctx,
+		cancel:     cancel,
+		jobs:       jobs,
+		results:    results,
+		clusterPar: e.clusterParallel(len(jobs)),
+		jobIdx:     len(jobs),
+	}
 
-	// Feeder: hands out job indexes until done or cancelled.
+	// A single worker keeps the historical strictly-sequential submission
+	// order (tests and callers rely on Parallelism 1 meaning "the old
+	// sequential loop"); deques would add nothing there.
+	if workers := e.workers(len(jobs)); workers == 1 || e.Scheduler == SchedulerStatic {
+		st.runStatic(workers)
+	} else {
+		st.runStealing(workers)
+	}
+
+	if st.jobErr != nil {
+		return results, st.jobErr
+	}
+	if err := ctx.Err(); err != nil && st.done < len(jobs) {
+		return results, err
+	}
+	return results, nil
+}
+
+// sweepState is the shared state of one Engine.Run call.
+type sweepState struct {
+	engine     *Engine
+	ctx        context.Context
+	cancel     context.CancelFunc
+	jobs       []Job
+	results    []JobResult
+	clusterPar bool
+
+	mu      sync.Mutex
+	eventMu sync.Mutex
+	done    int
+	jobErr  error // first real failure, lowest job index wins
+	jobIdx  int
+}
+
+// scratch is one worker's recycled state. The memo encode buffer survives
+// across jobs, so a warm sweep's steady-state cache writes allocate nothing
+// beyond the blob handed to the store.
+type scratch struct {
+	enc []byte
+}
+
+// execute runs (or recalls from cache) the job at idx and records its
+// outcome. It is the one place results, progress, and fail-fast state are
+// updated, shared by both scheduler modes.
+func (st *sweepState) execute(idx int, sc *scratch) {
+	e := st.engine
+	job := st.jobs[idx]
+	jr := JobResult{Job: job, Index: idx}
+
+	var fp Fingerprint
+	cached := false
+	useCache := e.Cache != nil && e.OnEvent == nil
+	if useCache {
+		var err error
+		if fp, err = JobFingerprint(job); err != nil {
+			// Unfingerprintable jobs (a Build error) fail identically on
+			// the real run below; just skip the cache.
+			useCache = false
+		} else if res, ok := e.Cache.Get(fp); ok {
+			jr.Result, cached = res, true
+		}
+	}
+	if !cached {
+		var obs core.Observer
+		if e.OnEvent != nil {
+			obs = core.ObserverFunc(func(ev core.Event) {
+				st.eventMu.Lock()
+				e.OnEvent(job, ev)
+				st.eventMu.Unlock()
+			})
+		}
+		start := time.Now()
+		jr.Result, jr.Err = runOneWith(job.Scenario, job.PolicySpec, job.Seed, obs, st.clusterPar)
+		if jr.Err == nil {
+			observeCost(job, time.Since(start))
+			// Only complete, successful runs are cached: errors and
+			// HitLimit runs never produce an entry, and the store's Put is
+			// atomic (temp file + rename), so a cancelled sweep can cut the
+			// job list short but never leaves a partial entry behind. Cache
+			// writes are best-effort — a full disk must not fail the sweep
+			// (the Memo counts the failure).
+			if useCache && !jr.Result.Cancelled {
+				_ = e.Cache.put(fp, jr.Result, &sc.enc)
+			}
+		}
+	}
+	st.results[idx] = jr
+
+	st.mu.Lock()
+	st.done++
+	if jr.Err != nil {
+		if idx < st.jobIdx {
+			st.jobErr, st.jobIdx = jr.Err, idx
+		}
+		st.cancel() // fail fast: stop dispatching further jobs
+	}
+	if e.OnProgress != nil {
+		e.OnProgress(st.done, len(st.jobs), job)
+	}
+	st.mu.Unlock()
+}
+
+// runStatic is the historical dispatch: a feeder goroutine hands out job
+// indexes in submission order to whichever worker asks next.
+func (st *sweepState) runStatic(workers int) {
+	indexes := make(chan int)
 	go func() {
 		defer close(indexes)
-		for i := range jobs {
+		for i := range st.jobs {
 			select {
 			case indexes <- i:
-			case <-ctx.Done():
+			case <-st.ctx.Done():
 				return
 			}
 		}
 	}()
 
-	for w := 0; w < e.workers(len(jobs)); w++ {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc scratch
 			for idx := range indexes {
-				jr := JobResult{Job: jobs[idx], Index: idx}
-				var obs core.Observer
-				if e.OnEvent != nil {
-					job := jobs[idx]
-					obs = core.ObserverFunc(func(ev core.Event) {
-						eventMu.Lock()
-						e.OnEvent(job, ev)
-						eventMu.Unlock()
-					})
-				}
-				jr.Result, jr.Err = runOneWith(jobs[idx].Scenario, jobs[idx].PolicySpec, jobs[idx].Seed, obs, clusterPar)
-				results[idx] = jr
-
-				mu.Lock()
-				done++
-				if jr.Err != nil {
-					if idx < jobIdx {
-						jobErr, jobIdx = jr.Err, idx
-					}
-					cancel() // fail fast: stop dispatching further jobs
-				}
-				if e.OnProgress != nil {
-					e.OnProgress(done, len(jobs), jobs[idx])
-				}
-				mu.Unlock()
+				st.execute(idx, &sc)
 			}
 		}()
 	}
 	wg.Wait()
+}
 
-	if jobErr != nil {
-		return results, jobErr
+// runStealing distributes jobs longest-expected-first over per-worker
+// deques; a worker that drains its own deque steals from its peers. No new
+// work is ever produced mid-sweep, so a worker that finds every deque empty
+// can simply exit — work conservation holds because an index leaves a deque
+// exactly once, into execute.
+func (st *sweepState) runStealing(workers int) {
+	order := scheduleOrder(st.jobs)
+	deques := make([]jobDeque, workers)
+	for i, idx := range order {
+		deques[i%workers].push(idx)
 	}
-	if err := ctx.Err(); err != nil && done < len(jobs) {
-		return results, err
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			var sc scratch
+			for {
+				if st.ctx.Err() != nil {
+					return // fail-fast / cancellation: stop dispatching
+				}
+				idx, ok := deques[self].pop()
+				for off := 1; !ok && off < workers; off++ {
+					idx, ok = deques[(self+off)%workers].pop()
+				}
+				if !ok {
+					return
+				}
+				st.execute(idx, &sc)
+			}
+		}(w)
 	}
-	return results, nil
+	wg.Wait()
+}
+
+// jobDeque is one worker's queue of job indexes, longest-expected job
+// first. A plain mutex suffices: cells run for milliseconds to seconds, so
+// queue operations are nowhere near contended enough to justify a lock-free
+// Chase–Lev deque.
+type jobDeque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *jobDeque) push(idx int) { d.jobs = append(d.jobs, idx) }
+
+// pop removes the front (longest-expected) job. Owner and thieves pop the
+// same end: with every deque sorted longest-first, whichever worker goes
+// idle always picks up the longest pending cell — the LPT greedy rule.
+func (d *jobDeque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	idx := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return idx, true
+}
+
+// scheduleOrder returns job indexes sorted longest-expected-first
+// (deterministically: ties keep submission order).
+func scheduleOrder(jobs []Job) []int {
+	order := make([]int, len(jobs))
+	costs := make([]float64, len(jobs))
+	for i := range jobs {
+		order[i] = i
+		costs[i] = estimateCost(jobs[i])
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	return order
+}
+
+// costModel learns wall-clock durations per (scenario, policy) across
+// sweeps in this process: an EWMA (α = 1/2) of observed run times,
+// consulted by scheduleOrder. Before any observation a static heuristic
+// stands in. Estimates shape only dispatch order — never results, which
+// merge by index.
+var costModel sync.Map // "slug\x00policy" → *atomic.Uint64 (EWMA nanoseconds)
+
+func costKey(j Job) string { return j.Scenario.Slug + "\x00" + j.PolicySpec }
+
+func observeCost(j Job, d time.Duration) {
+	if j.Scenario == nil {
+		return
+	}
+	v, _ := costModel.LoadOrStore(costKey(j), new(atomic.Uint64))
+	c := v.(*atomic.Uint64)
+	for {
+		old := c.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = old/2 + next/2
+		}
+		if c.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func estimateCost(j Job) float64 {
+	if j.Scenario == nil {
+		return 0
+	}
+	if v, ok := costModel.Load(costKey(j)); ok {
+		if ns := v.(*atomic.Uint64).Load(); ns > 0 {
+			return float64(ns)
+		}
+	}
+	// Static prior: a scenario's tmem capacity tracks its scale (bigger
+	// pools mean bigger working sets mean more simulated ops); cluster
+	// scenarios simulate several nodes, and no-tmem baselines pay the disk
+	// for every refault. The units don't match observed nanoseconds — only
+	// relative order matters, and both land in comparable magnitudes.
+	c := float64(j.Scenario.TmemBytes)
+	if c <= 0 {
+		c = 1 << 30
+	}
+	if j.Scenario.IsCluster() {
+		c *= 1.5
+	}
+	if j.PolicySpec == "no-tmem" {
+		c *= 2
+	}
+	return c
 }
 
 // Matrix expands scenarios × policies × seeds into a job list in
@@ -229,11 +462,16 @@ func Matrix(scenarios []*Scenario, policies []string, seeds []uint64) []Job {
 }
 
 // Options configure a parallel experiment sweep (Times, SeriesSet,
-// RunMatrix). The zero value runs with runtime.NumCPU() workers, no
-// cancellation and no progress output.
+// RunMatrix, RunTournament). The zero value runs with runtime.NumCPU()
+// workers, the work-stealing scheduler, no cache, no cancellation and no
+// progress output.
 type Options struct {
 	// Parallelism is the worker-pool size; <= 0 selects runtime.NumCPU().
 	Parallelism int
+	// Scheduler selects the dispatch strategy; see SchedulerMode.
+	Scheduler SchedulerMode
+	// Cache memoizes completed runs; see Engine.Cache.
+	Cache *Memo
 	// Context, when non-nil, cancels the sweep early.
 	Context context.Context
 	// OnProgress receives per-job completion callbacks (serialized).
@@ -249,6 +487,8 @@ type Options struct {
 func (o Options) engine() *Engine {
 	return &Engine{
 		Parallelism:     o.Parallelism,
+		Scheduler:       o.Scheduler,
+		Cache:           o.Cache,
 		OnProgress:      o.OnProgress,
 		OnEvent:         o.OnEvent,
 		ClusterParallel: o.ClusterParallel,

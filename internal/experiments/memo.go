@@ -1,0 +1,603 @@
+// Run memoization: a content-addressed cache of completed sweep cells.
+// The simulator is deterministic — a core.Result is a pure function of the
+// job's Fingerprint — so re-runs, figure regeneration, CI smokes and
+// widened sweeps can return cached cells instantly and byte-identically
+// instead of re-simulating them. The cache reuses the durable.BlobStore
+// shape: durable.NewDirStore for an on-disk cache shared across processes,
+// durable.NewMemStore for tests.
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync/atomic"
+
+	"smartmem/internal/core"
+	"smartmem/internal/durable"
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/metrics"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// memoMagic heads every cache entry.
+const memoMagic = "SMMO"
+
+// memoPrefix namespaces cache entries inside the blob store, so a memo
+// cache can share a store with other blobs (List("memo/") finds them all).
+const memoPrefix = "memo/"
+
+var memoCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Memo is a content-addressed result cache over a BlobStore. Entries are
+// keyed "memo/<fingerprint-hex>" and carry a checksummed self-describing
+// envelope; any validation failure (torn write, bit rot, stale format
+// version, key collision) reads as a miss and the cell is silently
+// recomputed — a corrupt cache can cost time, never correctness.
+//
+// Memo is safe for concurrent use by all engine workers.
+type Memo struct {
+	store durable.BlobStore
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	writes    atomic.Uint64
+	corrupt   atomic.Uint64
+	writeErrs atomic.Uint64
+}
+
+// MemoStats snapshots cache effectiveness counters.
+type MemoStats struct {
+	Hits      uint64 `json:"hits"`       // lookups served from cache
+	Misses    uint64 `json:"misses"`     // lookups that had to simulate
+	Writes    uint64 `json:"writes"`     // entries stored
+	Corrupt   uint64 `json:"corrupt"`    // entries present but invalid (recomputed)
+	WriteErrs uint64 `json:"write_errs"` // failed best-effort stores
+}
+
+// NewMemo wraps a blob store as a run cache.
+func NewMemo(store durable.BlobStore) *Memo {
+	return &Memo{store: store}
+}
+
+// OpenDirMemo opens (creating if needed) an on-disk run cache rooted at
+// dir. Concurrent processes may share it: entry writes are atomic
+// (temp file + rename) and entries are immutable once written.
+func OpenDirMemo(dir string) (*Memo, error) {
+	st, err := durable.NewDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewMemo(st), nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (m *Memo) Stats() MemoStats {
+	return MemoStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Writes:    m.writes.Load(),
+		Corrupt:   m.corrupt.Load(),
+		WriteErrs: m.writeErrs.Load(),
+	}
+}
+
+// Len returns the number of entries currently stored.
+func (m *Memo) Len() (int, error) {
+	keys, err := m.store.List(memoPrefix)
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+func memoKey(fp Fingerprint) string { return memoPrefix + fp.String() }
+
+// Get returns the cached result for a fingerprint, or (nil, false) on any
+// miss — absent, wrong version, or corrupt. The returned Result is freshly
+// decoded on every call; callers own it and may mutate it.
+func (m *Memo) Get(fp Fingerprint) (*core.Result, bool) {
+	blob, err := m.store.Get(memoKey(fp))
+	if err != nil {
+		m.misses.Add(1)
+		return nil, false
+	}
+	res, err := decodeMemoEntry(fp, blob)
+	if err != nil {
+		// Present but unusable: count it as corruption (checksum, torn
+		// write, stale version ...) and fall through to a recompute that
+		// will overwrite the entry.
+		m.corrupt.Add(1)
+		m.misses.Add(1)
+		return nil, false
+	}
+	m.hits.Add(1)
+	return res, true
+}
+
+// Put stores a result under its fingerprint, replacing any existing entry.
+func (m *Memo) Put(fp Fingerprint, res *core.Result) error {
+	var scratch []byte
+	return m.put(fp, res, &scratch)
+}
+
+// put is Put with a caller-recycled encode buffer (the engine passes its
+// per-worker scratch so steady-state sweeps hold allocations flat).
+func (m *Memo) put(fp Fingerprint, res *core.Result, scratch *[]byte) error {
+	blob := encodeMemoEntry(fp, res, (*scratch)[:0])
+	*scratch = blob
+	if err := m.store.Put(memoKey(fp), blob); err != nil {
+		m.writeErrs.Add(1)
+		return fmt.Errorf("experiments: memo store %s: %w", fp, err)
+	}
+	m.writes.Add(1)
+	return nil
+}
+
+// --- entry envelope ---
+//
+//	"SMMO" | u32 version | fingerprint[32] | u32 crc32c(payload) |
+//	u64 len(payload) | payload (encoded core.Result)
+//
+// The embedded fingerprint guards against blobs filed under the wrong key;
+// the CRC guards payload integrity; the version gates format evolution.
+
+func encodeMemoEntry(fp Fingerprint, res *core.Result, dst []byte) []byte {
+	payloadAt := len(dst) + len(memoMagic) + 4 + len(fp) + 4 + 8
+	dst = append(dst, memoMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, memoFormatVersion)
+	dst = append(dst, fp[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc backfilled below
+	dst = binary.LittleEndian.AppendUint64(dst, 0) // len backfilled below
+	dst = encodeResult(dst, res)
+	payload := dst[payloadAt:]
+	binary.LittleEndian.PutUint32(dst[payloadAt-12:], crc32.Checksum(payload, memoCRC))
+	binary.LittleEndian.PutUint64(dst[payloadAt-8:], uint64(len(payload)))
+	return dst
+}
+
+func decodeMemoEntry(fp Fingerprint, blob []byte) (*core.Result, error) {
+	head := len(memoMagic) + 4 + len(fp) + 4 + 8
+	if len(blob) < head {
+		return nil, fmt.Errorf("experiments: memo entry truncated (%d bytes)", len(blob))
+	}
+	if string(blob[:len(memoMagic)]) != memoMagic {
+		return nil, fmt.Errorf("experiments: memo entry bad magic")
+	}
+	off := len(memoMagic)
+	if v := binary.LittleEndian.Uint32(blob[off:]); v != memoFormatVersion {
+		return nil, fmt.Errorf("experiments: memo entry format v%d, want v%d", v, memoFormatVersion)
+	}
+	off += 4
+	var stored Fingerprint
+	copy(stored[:], blob[off:])
+	if stored != fp {
+		return nil, fmt.Errorf("experiments: memo entry fingerprint mismatch")
+	}
+	off += len(fp)
+	crc := binary.LittleEndian.Uint32(blob[off:])
+	off += 4
+	plen := binary.LittleEndian.Uint64(blob[off:])
+	off += 8
+	payload := blob[off:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("experiments: memo entry payload length %d, want %d", len(payload), plen)
+	}
+	if crc32.Checksum(payload, memoCRC) != crc {
+		return nil, fmt.Errorf("experiments: memo entry checksum mismatch")
+	}
+	d := &memoDec{b: payload}
+	res := decodeResult(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("experiments: memo entry has %d trailing bytes", len(d.b))
+	}
+	return res, nil
+}
+
+// --- core.Result codec ---
+//
+// Hand-rolled little-endian encoding: encoding/gob cannot see the
+// unexported fields of metrics.Set/Series, and a hand encoding is both
+// deterministic (stable byte output for identical results) and allocation-
+// friendly on the hot sweep path. The field walks below must cover every
+// field of core.Result and its component structs; TestMemoCodecCoversResult
+// pins the struct shapes with reflection so adding a field to core.Result
+// (or guest.Stats, tmem.OpCounts, ...) fails tests until the codec and
+// memoFormatVersion are updated together.
+
+func encU64(b []byte, v uint64) []byte  { return binary.LittleEndian.AppendUint64(b, v) }
+func encI64(b []byte, v int64) []byte   { return encU64(b, uint64(v)) }
+func encF64(b []byte, v float64) []byte { return encU64(b, math.Float64bits(v)) }
+func encBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+func encStr(b []byte, s string) []byte {
+	b = encU64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func encodeResult(b []byte, r *core.Result) []byte {
+	b = encStr(b, r.PolicyName)
+	b = encU64(b, r.Seed)
+	b = encI64(b, int64(r.EndTime))
+	b = encBool(b, r.HitLimit)
+	b = encBool(b, r.Cancelled)
+
+	b = encU64(b, uint64(len(r.Runs)))
+	for _, run := range r.Runs {
+		b = encStr(b, run.VM)
+		b = encStr(b, run.Label)
+		b = encI64(b, int64(run.Start))
+		b = encI64(b, int64(run.End))
+	}
+
+	b = encBool(b, r.Series != nil)
+	if r.Series != nil {
+		names := r.Series.Names()
+		b = encU64(b, uint64(len(names)))
+		for _, name := range names {
+			s := r.Series.Get(name)
+			b = encStr(b, name)
+			pts := s.Points()
+			b = encU64(b, uint64(len(pts)))
+			for _, p := range pts {
+				b = encF64(b, p.T)
+				b = encF64(b, p.V)
+			}
+		}
+	}
+
+	b = encU64(b, uint64(len(r.VMs)))
+	for _, vm := range r.VMs {
+		b = encStr(b, vm.Name)
+		b = encI64(b, int64(vm.ID))
+		b = encGuestStats(b, vm.Kernel)
+		b = encOpCounts(b, vm.Tmem)
+	}
+
+	b = encU64(b, uint64(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		b = encStr(b, n.Name)
+		b = encStr(b, n.PolicyName)
+		b = encU64(b, n.SampleTicks)
+		b = encU64(b, n.MMBatchesSent)
+		b = encU64(b, n.DiskOps)
+		b = encI64(b, int64(n.DiskBusy))
+		b = encBool(b, n.Remote != nil)
+		if n.Remote != nil {
+			b = encTierStats(b, *n.Remote)
+		}
+		b = encBool(b, n.Compressed != nil)
+		if n.Compressed != nil {
+			b = encCompressedStats(b, *n.Compressed)
+		}
+		b = encBool(b, n.Durable != nil)
+		if n.Durable != nil {
+			b = encDurableSummary(b, *n.Durable)
+		}
+	}
+
+	b = encU64(b, r.MMBatchesSent)
+	b = encU64(b, r.SampleTicks)
+	b = encU64(b, r.DiskOps)
+	b = encI64(b, int64(r.DiskBusy))
+	b = encBool(b, r.Compressed != nil)
+	if r.Compressed != nil {
+		b = encCompressedStats(b, *r.Compressed)
+	}
+	b = encBool(b, r.Durable != nil)
+	if r.Durable != nil {
+		b = encDurableSummary(b, *r.Durable)
+	}
+	return b
+}
+
+func encGuestStats(b []byte, s guest.Stats) []byte {
+	b = encU64(b, s.Touches)
+	b = encU64(b, s.MinorFaults)
+	b = encU64(b, s.TmemHits)
+	b = encU64(b, s.TmemMisses)
+	b = encU64(b, s.DiskReads)
+	b = encU64(b, s.DiskWrites)
+	b = encU64(b, s.Evictions)
+	b = encU64(b, s.CleanEvicts)
+	b = encU64(b, s.PutsOK)
+	b = encU64(b, s.PutsFailed)
+	b = encU64(b, s.TmemFlushes)
+	b = encU64(b, s.FreedPages)
+	return encI64(b, int64(s.WaitedOnDisk))
+}
+
+func encOpCounts(b []byte, c tmem.OpCounts) []byte {
+	b = encI64(b, int64(c.ID))
+	b = encU64(b, c.PutsTotal)
+	b = encU64(b, c.PutsSucc)
+	b = encU64(b, c.GetsTotal)
+	b = encU64(b, c.GetsHit)
+	b = encU64(b, c.Flushes)
+	return encU64(b, c.EphEvicted)
+}
+
+func encTierStats(b []byte, s tmem.TierStats) []byte {
+	b = encU64(b, s.Puts)
+	b = encU64(b, s.PutsOK)
+	b = encU64(b, s.Gets)
+	b = encU64(b, s.GetsHit)
+	b = encU64(b, s.PageFlushes)
+	b = encU64(b, s.ObjectFlushes)
+	return encU64(b, s.Errors)
+}
+
+func encCompressedStats(b []byte, s tmem.CompressedTierStats) []byte {
+	b = encTierStats(b, s.TierStats)
+	b = encI64(b, int64(s.PagesStored))
+	b = encI64(b, s.UniqueBlobs)
+	b = encI64(b, int64(s.RawBytes))
+	b = encI64(b, int64(s.StoredBytes))
+	b = encU64(b, s.DedupHits)
+	b = encU64(b, s.RejectedFull)
+	b = encU64(b, s.DecodeErrors)
+	b = encU64(b, s.CompressNs)
+	return encU64(b, s.DecompressNs)
+}
+
+func encDurableSummary(b []byte, s durable.Summary) []byte {
+	b = encTierStats(b, s.Tier)
+	b = encU64(b, s.Log.Appends)
+	b = encU64(b, s.Log.AppendedBytes)
+	b = encU64(b, s.Log.Fsyncs)
+	b = encU64(b, s.Log.Segments)
+	b = encU64(b, s.Log.Compactions)
+	b = encU64(b, s.Log.SnapshotPages)
+	b = encU64(b, s.Log.Pools)
+	b = encU64(b, s.Log.PagesLive)
+	b = encU64(b, s.Log.BytesLive)
+	return encU64(b, s.Log.Errors)
+}
+
+// memoDec is a sticky-error little-endian reader over a payload slice.
+type memoDec struct {
+	b   []byte
+	err error
+}
+
+func (d *memoDec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("experiments: memo entry truncated in %s", what)
+	}
+}
+
+func (d *memoDec) u64(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *memoDec) i64(what string) int64   { return int64(d.u64(what)) }
+func (d *memoDec) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
+
+func (d *memoDec) bool(what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail(what)
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+func (d *memoDec) str(what string) string {
+	n := d.u64(what)
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads a length prefix and sanity-bounds it against the remaining
+// payload (each element costs at least min bytes), so corrupt lengths fail
+// cleanly instead of attempting huge allocations.
+func (d *memoDec) count(what string, min int) int {
+	n := d.u64(what)
+	if d.err != nil {
+		return 0
+	}
+	if min > 0 && n > uint64(len(d.b)/min) {
+		if d.err == nil {
+			d.err = fmt.Errorf("experiments: memo entry implausible %s count %d", what, n)
+		}
+		return 0
+	}
+	return int(n)
+}
+
+func decodeResult(d *memoDec) *core.Result {
+	r := &core.Result{}
+	r.PolicyName = d.str("policy")
+	r.Seed = d.u64("seed")
+	r.EndTime = sim.Time(d.i64("end-time"))
+	r.HitLimit = d.bool("hit-limit")
+	r.Cancelled = d.bool("cancelled")
+
+	if n := d.count("runs", 4*8); n > 0 {
+		r.Runs = make([]core.RunRecord, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			r.Runs = append(r.Runs, core.RunRecord{
+				VM:    d.str("run.vm"),
+				Label: d.str("run.label"),
+				Start: sim.Time(d.i64("run.start")),
+				End:   sim.Time(d.i64("run.end")),
+			})
+		}
+	}
+
+	if d.bool("series?") {
+		// Rebuild through the Set/Series API; points were recorded with
+		// non-decreasing timestamps, so re-adding in stored order is safe.
+		r.Series = metrics.NewSet()
+		n := d.count("series", 16)
+		for i := 0; i < n && d.err == nil; i++ {
+			name := d.str("series.name")
+			s := r.Series.Get(name)
+			pts := d.count("series.points", 16)
+			for p := 0; p < pts && d.err == nil; p++ {
+				t := d.f64("series.t")
+				v := d.f64("series.v")
+				if d.err == nil {
+					s.Add(t, v)
+				}
+			}
+		}
+	}
+
+	if n := d.count("vms", 8); n > 0 {
+		r.VMs = make([]core.VMResult, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			vm := core.VMResult{Name: d.str("vm.name"), ID: tmem.VMID(d.i64("vm.id"))}
+			vm.Kernel = decGuestStats(d)
+			vm.Tmem = decOpCounts(d)
+			r.VMs = append(r.VMs, vm)
+		}
+	}
+
+	if n := d.count("nodes", 8); n > 0 {
+		r.Nodes = make([]core.NodeResult, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			node := core.NodeResult{
+				Name:          d.str("node.name"),
+				PolicyName:    d.str("node.policy"),
+				SampleTicks:   d.u64("node.ticks"),
+				MMBatchesSent: d.u64("node.batches"),
+				DiskOps:       d.u64("node.disk-ops"),
+				DiskBusy:      sim.Duration(d.i64("node.disk-busy")),
+			}
+			if d.bool("node.remote?") {
+				ts := decTierStats(d)
+				node.Remote = &ts
+			}
+			if d.bool("node.compressed?") {
+				cs := decCompressedStats(d)
+				node.Compressed = &cs
+			}
+			if d.bool("node.durable?") {
+				ds := decDurableSummary(d)
+				node.Durable = &ds
+			}
+			r.Nodes = append(r.Nodes, node)
+		}
+	}
+
+	r.MMBatchesSent = d.u64("batches")
+	r.SampleTicks = d.u64("ticks")
+	r.DiskOps = d.u64("disk-ops")
+	r.DiskBusy = sim.Duration(d.i64("disk-busy"))
+	if d.bool("compressed?") {
+		cs := decCompressedStats(d)
+		r.Compressed = &cs
+	}
+	if d.bool("durable?") {
+		ds := decDurableSummary(d)
+		r.Durable = &ds
+	}
+	return r
+}
+
+func decGuestStats(d *memoDec) guest.Stats {
+	return guest.Stats{
+		Touches:      d.u64("k.touches"),
+		MinorFaults:  d.u64("k.minor"),
+		TmemHits:     d.u64("k.hits"),
+		TmemMisses:   d.u64("k.misses"),
+		DiskReads:    d.u64("k.reads"),
+		DiskWrites:   d.u64("k.writes"),
+		Evictions:    d.u64("k.evictions"),
+		CleanEvicts:  d.u64("k.clean"),
+		PutsOK:       d.u64("k.puts-ok"),
+		PutsFailed:   d.u64("k.puts-failed"),
+		TmemFlushes:  d.u64("k.flushes"),
+		FreedPages:   d.u64("k.freed"),
+		WaitedOnDisk: sim.Duration(d.i64("k.waited")),
+	}
+}
+
+func decOpCounts(d *memoDec) tmem.OpCounts {
+	return tmem.OpCounts{
+		ID:         tmem.VMID(d.i64("t.id")),
+		PutsTotal:  d.u64("t.puts"),
+		PutsSucc:   d.u64("t.puts-succ"),
+		GetsTotal:  d.u64("t.gets"),
+		GetsHit:    d.u64("t.gets-hit"),
+		Flushes:    d.u64("t.flushes"),
+		EphEvicted: d.u64("t.eph-evicted"),
+	}
+}
+
+func decTierStats(d *memoDec) tmem.TierStats {
+	return tmem.TierStats{
+		Puts:          d.u64("tier.puts"),
+		PutsOK:        d.u64("tier.puts-ok"),
+		Gets:          d.u64("tier.gets"),
+		GetsHit:       d.u64("tier.gets-hit"),
+		PageFlushes:   d.u64("tier.page-flushes"),
+		ObjectFlushes: d.u64("tier.object-flushes"),
+		Errors:        d.u64("tier.errors"),
+	}
+}
+
+func decCompressedStats(d *memoDec) tmem.CompressedTierStats {
+	return tmem.CompressedTierStats{
+		TierStats:    decTierStats(d),
+		PagesStored:  mem.Pages(d.i64("c.pages")),
+		UniqueBlobs:  d.i64("c.blobs"),
+		RawBytes:     mem.Bytes(d.i64("c.raw")),
+		StoredBytes:  mem.Bytes(d.i64("c.stored")),
+		DedupHits:    d.u64("c.dedup"),
+		RejectedFull: d.u64("c.rejected"),
+		DecodeErrors: d.u64("c.decode-errs"),
+		CompressNs:   d.u64("c.compress-ns"),
+		DecompressNs: d.u64("c.decompress-ns"),
+	}
+}
+
+func decDurableSummary(d *memoDec) durable.Summary {
+	return durable.Summary{
+		Tier: decTierStats(d),
+		Log: durable.Stats{
+			Appends:       d.u64("d.appends"),
+			AppendedBytes: d.u64("d.appended-bytes"),
+			Fsyncs:        d.u64("d.fsyncs"),
+			Segments:      d.u64("d.segments"),
+			Compactions:   d.u64("d.compactions"),
+			SnapshotPages: d.u64("d.snapshot-pages"),
+			Pools:         d.u64("d.pools"),
+			PagesLive:     d.u64("d.pages-live"),
+			BytesLive:     d.u64("d.bytes-live"),
+			Errors:        d.u64("d.errors"),
+		},
+	}
+}

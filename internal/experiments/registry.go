@@ -144,4 +144,8 @@ func init() {
 	Register(MemoryPressureScenario)
 	// Durable-tier scenario (WAL + snapshots as the last-resort tier).
 	Register(RestartSurvivorScenario)
+	// Production-shaped scenarios (diurnal waves, noisy neighbors, leaks).
+	Register(DiurnalScenario)
+	Register(NoisyNeighborScenario)
+	Register(LeakyScenario)
 }

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+
+	"smartmem/internal/guest"
+	"smartmem/internal/mem"
+	"smartmem/internal/sim"
+	"smartmem/internal/tmem"
+)
+
+// Production-shaped workloads (ROADMAP item 4): the traffic patterns a
+// fleet operator actually schedules around — diurnal demand waves, memory
+// leaks, and noisy neighbors — as deterministic page-access models driving
+// the same guest kernels as the paper workloads.
+
+// diurnalShape is one full demand cycle sampled at 12 steps:
+// (1 − cos(2πs/12))/2, hardcoded so the waveform is bit-identical on every
+// platform (math.Cos may differ across architectures' assembly, and these
+// values feed golden-tested runs).
+var diurnalShape = [12]float64{
+	0, 0.0670, 0.25, 0.5, 0.75, 0.9330,
+	1, 0.9330, 0.75, 0.5, 0.25, 0.0670,
+}
+
+// DiurnalWave models a service whose working set swells and shrinks
+// sinusoidally — the classic day/night traffic wave. Each step of a cycle
+// walks the current working set (its size interpolated between BaseBytes
+// and PeakBytes along diurnalShape) and releases memory on the downslope,
+// so tmem demand rises to a crest, recedes, and repeats. The policy-visible
+// signal is the same one an autoscaler sees: slow, predictable pressure
+// changes a reallocation policy should track without thrash.
+type DiurnalWave struct {
+	// Label distinguishes runs in reports; one report entry per cycle.
+	Label string
+	// BaseBytes is the trough working set (always resident).
+	BaseBytes mem.Bytes
+	// PeakBytes is the crest working set (should exceed the VM's RAM for
+	// the wave to reach tmem).
+	PeakBytes mem.Bytes
+	// Cycles is the number of full waves to run.
+	Cycles int
+	// DwellPerStep is idle time after each step's walk, pacing the wave.
+	DwellPerStep sim.Duration
+	// CPUPerPage is compute charged per page walked.
+	CPUPerPage sim.Duration
+	// WriteFraction is the share of walked chunks that dirty their pages
+	// (session state updates amid mostly-read serving). Zero selects 0.3.
+	WriteFraction float64
+}
+
+// Name implements Workload.
+func (DiurnalWave) Name() string { return "diurnal-wave" }
+
+// Run implements Workload.
+func (w DiurnalWave) Run(ctx *Ctx) {
+	if w.BaseBytes <= 0 || w.PeakBytes < w.BaseBytes || w.Cycles <= 0 {
+		panic("workload: invalid diurnal-wave parameters")
+	}
+	writeFrac := w.WriteFraction
+	if writeFrac == 0 {
+		writeFrac = 0.3
+	}
+	const chunk = mem.Pages(256)
+	base := ctx.pages(w.BaseBytes)
+	peak := ctx.pages(w.PeakBytes)
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
+
+	prev := mem.Pages(0)
+	for cycle := 1; cycle <= w.Cycles; cycle++ {
+		start := ctx.Proc.Now()
+		for step, f := range diurnalShape {
+			if ctx.Stopped() {
+				return
+			}
+			target := base + mem.Pages(float64(peak-base)*f)
+			// Scale-in: the downslope releases what the crest allocated,
+			// exactly like request-scoped caches draining after the peak.
+			if target < prev {
+				ctx.Guest.Free(ctx.Proc, guest.PageID(target), prev-target)
+			}
+			// Walk the current working set; chunks dirty with probability
+			// writeFrac (kept per-chunk so the walk batches page runs).
+			for off := mem.Pages(0); off < target; off += chunk {
+				if ctx.Stopped() {
+					return
+				}
+				n := min(chunk, target-off)
+				write := ctx.RNG.Float64() < writeFrac
+				ctx.Guest.Access(ctx.Proc, guest.PageID(off), n, write)
+				if w.CPUPerPage > 0 {
+					ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPage)*int64(n)))
+				}
+			}
+			prev = target
+			if step == len(diurnalShape)/2 {
+				ctx.milestone(fmt.Sprintf("%s-crest-%d", label, cycle))
+			}
+			if w.DwellPerStep > 0 {
+				ctx.Guest.Idle(ctx.Proc, w.DwellPerStep)
+			}
+		}
+		ctx.report(fmt.Sprintf("%s-cycle%d", label, cycle), start, ctx.Proc.Now())
+	}
+	ctx.Guest.Free(ctx.Proc, 0, prev)
+}
+
+// Leak models a service with a memory leak: the working set only grows.
+// Each round allocates GrowBytes more and then re-touches only the recent
+// HotBytes window — the leaked tail below it goes cold and is never
+// referenced again. The policy-relevant property: a VM whose tmem demand
+// rises monotonically without any reuse of the overflow, the pattern where
+// giving it ever more tmem is pure waste (the paper's smart policies should
+// starve it; greedy rewards it).
+type Leak struct {
+	// Label distinguishes runs in reports.
+	Label string
+	// StartBytes is the initial working set.
+	StartBytes mem.Bytes
+	// GrowBytes is allocated per round (the leak rate).
+	GrowBytes mem.Bytes
+	// MaxBytes caps the footprint (the OOM-kill threshold stand-in); the
+	// workload ends after reaching it.
+	MaxBytes mem.Bytes
+	// HotBytes is the trailing window re-touched each round (the live heap
+	// amid the garbage). Zero selects GrowBytes.
+	HotBytes mem.Bytes
+	// RoundsAtMax is how many extra hot-window rounds run at full size
+	// before exiting (steady-state leak pressure). Zero selects 2.
+	RoundsAtMax int
+	// CPUPerPage is compute charged per page touched.
+	CPUPerPage sim.Duration
+	// DwellPerRound is idle time after each round.
+	DwellPerRound sim.Duration
+}
+
+// Name implements Workload.
+func (Leak) Name() string { return "leak" }
+
+// Run implements Workload.
+func (w Leak) Run(ctx *Ctx) {
+	if w.StartBytes <= 0 || w.GrowBytes <= 0 || w.MaxBytes < w.StartBytes {
+		panic("workload: invalid leak parameters")
+	}
+	hotBytes := w.HotBytes
+	if hotBytes <= 0 {
+		hotBytes = w.GrowBytes
+	}
+	roundsAtMax := w.RoundsAtMax
+	if roundsAtMax <= 0 {
+		roundsAtMax = 2
+	}
+	const chunk = mem.Pages(256)
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
+	start := ctx.Proc.Now()
+
+	walk := func(first, count mem.Pages, write bool) bool {
+		for off := mem.Pages(0); off < count; off += chunk {
+			if ctx.Stopped() {
+				return false
+			}
+			n := min(chunk, count-off)
+			ctx.Guest.Access(ctx.Proc, guest.PageID(first+off), n, write)
+			if w.CPUPerPage > 0 {
+				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPage)*int64(n)))
+			}
+		}
+		return true
+	}
+
+	size := ctx.pages(w.StartBytes)
+	max := ctx.pages(w.MaxBytes)
+	hot := ctx.pages(hotBytes)
+	if !walk(0, size, true) {
+		return
+	}
+	round := 0
+	atMax := 0
+	for atMax < roundsAtMax {
+		if ctx.Stopped() {
+			return
+		}
+		if size < max {
+			grow := min(ctx.pages(w.GrowBytes), max-size)
+			if !walk(size, grow, true) { // the leak: fresh, soon-cold pages
+				return
+			}
+			size += grow
+			if size == max {
+				ctx.milestone(label + "-at-max")
+			}
+		} else {
+			atMax++
+		}
+		// The live heap: only the trailing window is ever reused.
+		win := min(hot, size)
+		if !walk(size-win, win, true) {
+			return
+		}
+		round++
+		if w.DwellPerRound > 0 {
+			ctx.Guest.Idle(ctx.Proc, w.DwellPerRound)
+		}
+	}
+	ctx.report(label, start, ctx.Proc.Now())
+	ctx.Guest.Free(ctx.Proc, 0, size)
+}
+
+// FileThrash is the adversarial noisy neighbor: it cyclically re-reads a
+// file working set far larger than its VM's RAM. Every pass floods the
+// guest's clean-page LRU, so evictions stream into the ephemeral
+// (cleancache) pool and refaults drain it — maximal ephemeral put/get/evict
+// churn with almost no compute, the access pattern of a tenant running a
+// pathological backup or scan job. Run next to well-behaved VMs it measures
+// how well a policy contains a cache-polluting tenant.
+type FileThrash struct {
+	// Label distinguishes runs in reports.
+	Label string
+	// FileBytes is the scanned file's size (should be a multiple of the
+	// VM's RAM for maximal thrash).
+	FileBytes mem.Bytes
+	// Passes is the number of full scans; 0 scans until stopped.
+	Passes int
+	// CPUPerPage is compute charged per page read (keep tiny: scans are
+	// I/O-bound).
+	CPUPerPage sim.Duration
+}
+
+// Name implements Workload.
+func (FileThrash) Name() string { return "file-thrash" }
+
+// thrashFile is the object id the scanned file's pages live under.
+const thrashFile tmem.ObjectID = 0x7f11e
+
+// Run implements Workload.
+func (w FileThrash) Run(ctx *Ctx) {
+	if w.FileBytes <= 0 {
+		panic("workload: invalid file-thrash parameters")
+	}
+	const chunk = mem.Pages(256)
+	total := ctx.pages(w.FileBytes)
+	label := w.Label
+	if label == "" {
+		label = w.Name()
+	}
+	start := ctx.Proc.Now()
+	for pass := 1; w.Passes <= 0 || pass <= w.Passes; pass++ {
+		for off := mem.Pages(0); off < total; off += chunk {
+			if ctx.Stopped() {
+				return
+			}
+			n := min(chunk, total-off)
+			ctx.Guest.ReadFile(ctx.Proc, thrashFile, tmem.PageIndex(off), n)
+			if w.CPUPerPage > 0 {
+				ctx.Guest.Idle(ctx.Proc, sim.Duration(int64(w.CPUPerPage)*int64(n)))
+			}
+		}
+		ctx.milestone(fmt.Sprintf("%s-pass-%d", label, pass))
+	}
+	ctx.report(label, start, ctx.Proc.Now())
+}

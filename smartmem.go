@@ -286,6 +286,79 @@ type ExperimentOptions = experiments.Options
 // errors.Is to tell skipped jobs from failed ones in partial results.
 var ErrSkipped = experiments.ErrSkipped
 
+// SchedulerMode selects how sweeps dispatch jobs to workers; see
+// ExperimentOptions.Scheduler.
+type SchedulerMode = experiments.SchedulerMode
+
+// Scheduler modes for ExperimentOptions.
+const (
+	// SchedulerSteal (the default) distributes jobs longest-expected-first
+	// over per-worker deques with work stealing.
+	SchedulerSteal = experiments.SchedulerSteal
+	// SchedulerStatic is the historical fixed channel feed.
+	SchedulerStatic = experiments.SchedulerStatic
+)
+
+// RunCache memoizes completed runs by fingerprint so repeated sweep cells
+// return instantly and byte-identically. Set ExperimentOptions.Cache to
+// one; it is safe for concurrent use and survives across sweeps (and, with
+// OpenDirRunCache, across processes).
+type RunCache = experiments.Memo
+
+// RunCacheStats reports a cache's hit/miss/write counters.
+type RunCacheStats = experiments.MemoStats
+
+// NewRunCache returns a run cache over any BlobStore (an in-memory store
+// for tests, a DirStore for persistence).
+func NewRunCache(store BlobStore) *RunCache { return experiments.NewMemo(store) }
+
+// OpenDirRunCache opens (creating if needed) an on-disk run cache rooted
+// at dir.
+func OpenDirRunCache(dir string) (*RunCache, error) { return experiments.OpenDirMemo(dir) }
+
+// LeagueTable is a tournament's outcome: policies ranked by mean disk
+// traffic, overall and per scenario.
+type LeagueTable = experiments.LeagueTable
+
+// RunTournament sweeps every scenario × policy × seed cell and ranks the
+// policies in a deterministic league table. Nil policies selects the union
+// of the scenarios' own policy lists; nil seeds the default five.
+func RunTournament(slugs []string, policies []string, seeds []uint64, opt ExperimentOptions) (*LeagueTable, error) {
+	scns := make([]*Scenario, len(slugs))
+	for i, slug := range slugs {
+		s, err := experiments.BySlug(slug)
+		if err != nil {
+			return nil, err
+		}
+		scns[i] = s
+	}
+	return experiments.RunTournament(scns, policies, seeds, opt)
+}
+
+// WriteLeagueTable renders a league's overall standings and per-scenario
+// breakdowns as fixed-width text.
+func WriteLeagueTable(w io.Writer, t *LeagueTable) error {
+	if err := experiments.LeagueReport(t).Render(w); err != nil {
+		return err
+	}
+	for _, sl := range t.PerScenario {
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		if err := experiments.ScenarioLeagueReport(sl).Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLeagueJSON writes a league table as one deterministic JSON document.
+func WriteLeagueJSON(w io.Writer, t *LeagueTable) error { return experiments.WriteLeagueJSON(w, t) }
+
+// WriteLeagueCSV writes a league table as CSV (overall block, then one
+// block per scenario).
+func WriteLeagueCSV(w io.Writer, t *LeagueTable) error { return experiments.WriteLeagueCSV(w, t) }
+
 // RunMatrix executes every (scenario, policy, seed) combination on a
 // worker pool and returns the results in deterministic matrix order
 // (scenario-major, then policy, then seed). Nil policies selects each
